@@ -1,0 +1,11 @@
+package nscc
+
+import "nscc/internal/pvm"
+
+// defaultPVMWithWindow returns the default messaging overheads with a
+// finite send window (transport backpressure).
+func defaultPVMWithWindow(w int) pvm.Config {
+	cfg := pvm.DefaultConfig()
+	cfg.SendWindow = w
+	return cfg
+}

@@ -1,0 +1,102 @@
+// Command nscc-bayes runs a single parallel logic-sampling
+// configuration on the simulated cluster and prints its result:
+//
+//	nscc-bayes -net Hailfinder -procs 2 -mode global_read -age 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nscc/internal/bayes"
+	"nscc/internal/core"
+	"nscc/internal/netsim"
+)
+
+func main() {
+	var (
+		netName  = flag.String("net", "A", "belief network: A, AA, C, Hailfinder, or figure1")
+		procs    = flag.Int("procs", 2, "number of processors")
+		mode     = flag.String("mode", "global_read", "sync, async, or global_read")
+		age      = flag.Int64("age", 10, "Global_Read staleness bound (iterations)")
+		prec     = flag.Float64("prec", 0.01, "90% CI half-width stopping target")
+		load     = flag.Float64("load", 0, "background loader rate in bits/s")
+		seed     = flag.Int64("seed", 1, "random seed")
+		maxIt    = flag.Int64("maxiters", 200000, "iteration safety cap")
+		randDef  = flag.Bool("randdefaults", false, "ablation: arbitrary default values instead of most-probable")
+		algo     = flag.String("algo", "ls", "serial baseline algorithm: ls (logic sampling) or lw (likelihood weighting)")
+		swFabric = flag.Bool("switch", false, "run on the SP2-style crossbar switch instead of the Ethernet")
+		batch    = flag.Int64("batch", 0, "update-batching depth (0 = mode default)")
+	)
+	flag.Parse()
+
+	var bn *bayes.Network
+	if *netName == "figure1" {
+		bn = bayes.Figure1()
+	} else {
+		for _, cand := range bayes.Table2Networks() {
+			if cand.Name == *netName {
+				bn = cand
+			}
+		}
+	}
+	if bn == nil {
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+	q := bayes.DefaultQuery(bn)
+	calib := bayes.DefaultCalibration()
+
+	serial := bayes.InferSerial(bn, q, *prec, *seed, calib, *maxIt)
+	switch *algo {
+	case "ls":
+		fmt.Printf("serial (logic sampling): time=%v prob=%.4f (+-%.4f) iters=%d accepted=%d\n",
+			serial.Time, serial.Prob, serial.HalfWidth, serial.Iters, serial.Accepted)
+	case "lw":
+		lw := bayes.InferSerialLW(bn, q, *prec, *seed, calib, *maxIt)
+		fmt.Printf("serial (likelihood weighting): time=%v prob=%.4f (+-%.4f) iters=%d effN=%.0f\n",
+			lw.Time, lw.Prob, lw.HalfWidth, lw.Iters, lw.EffN)
+		fmt.Printf("serial (logic sampling):       time=%v prob=%.4f (+-%.4f) iters=%d\n",
+			serial.Time, serial.Prob, serial.HalfWidth, serial.Iters)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	cfg := bayes.ParallelConfig{
+		Net: bn, Query: q, P: *procs,
+		Age: *age, Precision: *prec, MaxIters: *maxIt,
+		Seed: *seed, Calib: calib, LoaderBps: *load,
+		RandomDefaults: *randDef,
+		Batch:          *batch,
+	}
+	if *swFabric {
+		sw := netsim.DefaultSwitchConfig()
+		cfg.SwitchCfg = &sw
+	}
+	switch *mode {
+	case "sync":
+		cfg.Mode = core.Sync
+	case "async":
+		cfg.Mode = core.Async
+	case "global_read":
+		cfg.Mode = core.NonStrict
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	res, err := bayes.RunParallel(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: completion=%v speedup=%.2f prob=%.4f (+-%.4f) iters=%d accepted=%d converged=%v\n",
+		*mode, res.Completion, serial.Time.Seconds()/res.Completion.Seconds(),
+		res.Prob, res.HalfWidth, res.Iters, res.Accepted, res.ReachedPrecision)
+	fmt.Printf("  edge-cut=%d gambles=%d conflicts=%d rollbacks=%d replayed=%d\n",
+		res.EdgeCut, res.Gambles, res.Conflicts, res.Rollbacks, res.Replayed)
+	fmt.Printf("  messages=%d bytes=%d blocked=%d blocked-time=%v warp=%.2f\n",
+		res.Messages, res.NetBytes, res.Blocked, res.BlockedTime, res.WarpMean)
+}

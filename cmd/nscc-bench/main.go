@@ -1,0 +1,178 @@
+// Command nscc-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4] [-profile quick|full]
+//	           [-trials N] [-gens N] [-procs 2,4,8,16] [-funcs 1,2,...] [-seed N]
+//
+// The quick profile runs the full experimental structure at reduced
+// trial counts and generation budgets; the full profile is paper scale
+// (1000-generation synchronous GAs, 25 GA trials) and takes hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nscc/internal/exper"
+	"nscc/internal/ga/functions"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, agesweep")
+		profile = flag.String("profile", "quick", "quick or full")
+		trials  = flag.Int("trials", 0, "override trial count")
+		gens    = flag.Int64("gens", 0, "override synchronous GA generations")
+		procs   = flag.String("procs", "", "override processor counts, e.g. 2,4,8")
+		funcs   = flag.String("funcs", "", "restrict GA functions, e.g. 1,5,7 (default all)")
+		seed    = flag.Int64("seed", 0, "override base seed")
+		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
+		useSw   = flag.Bool("switch", false, "run the GA experiments on the SP2-style crossbar switch")
+	)
+	flag.Parse()
+
+	opts := exper.Quick()
+	if *profile == "full" {
+		opts = exper.Full()
+	} else if *profile != "quick" {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	if *trials > 0 {
+		opts.Trials = *trials
+	}
+	if *gens > 0 {
+		opts.SyncGens = *gens
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	opts.UseSwitch = *useSw
+	if *procs != "" {
+		opts.Procs = nil
+		for _, s := range strings.Split(*procs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "bad -procs entry %q\n", s)
+				os.Exit(2)
+			}
+			opts.Procs = append(opts.Procs, p)
+		}
+	}
+	var fns []*functions.Function
+	if *funcs != "" {
+		for _, s := range strings.Split(*funcs, ",") {
+			no, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || no < 1 || no > 8 {
+				fmt.Fprintf(os.Stderr, "bad -funcs entry %q\n", s)
+				os.Exit(2)
+			}
+			fns = append(fns, functions.ByNo(no))
+		}
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	matched := false
+	if want("table1") {
+		matched = true
+		run("Table 1", func() error { exper.Table1(os.Stdout); return nil })
+	}
+	if want("table2") {
+		matched = true
+		run("Table 2", func() error { exper.Table2(os.Stdout, opts); return nil })
+	}
+	if want("fig1") {
+		matched = true
+		run("Figure 1", func() error { exper.Figure1Report(os.Stdout, opts); return nil })
+	}
+	if want("fig2") {
+		matched = true
+		run("Figure 2", func() error {
+			res, err := exper.Figure2(os.Stdout, opts, fns)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "figure2.csv", func(w *os.File) error {
+				rows := append(append([]exper.GARow{}, res.PerFunc...), res.Average...)
+				return exper.WriteGARowsCSV(w, rows)
+			})
+		})
+	}
+	if want("fig3") {
+		matched = true
+		run("Figure 3", func() error {
+			res, err := exper.Figure3(os.Stdout, opts)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "figure3.csv", func(w *os.File) error {
+				return exper.WriteBayesRowsCSV(w, res)
+			})
+		})
+	}
+	if want("fig4") {
+		matched = true
+		run("Figure 4", func() error {
+			res, err := exper.Figure4(os.Stdout, opts, fns)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "figure4.csv", func(w *os.File) error {
+				rows := append(append([]exper.GARow{}, res.BestCase...), res.Average...)
+				return exper.WriteGARowsCSV(w, rows)
+			})
+		})
+	}
+	if *exp == "agesweep" { // not part of "all": it is the extension study
+		matched = true
+		run("Age sweep", func() error {
+			fn := functions.F1
+			if len(fns) > 0 {
+				fn = fns[0]
+			}
+			p := 4
+			if len(opts.Procs) > 0 {
+				p = opts.Procs[len(opts.Procs)-1]
+			}
+			_, err := exper.AgeSweep(os.Stdout, opts, fn, p, []float64{0, 1e6, 2e6})
+			return err
+		})
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// writeCSV writes one CSV artifact into dir (no-op when dir is empty).
+func writeCSV(dir, name string, fill func(*os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fill(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s/%s\n", dir, name)
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command nscc-ga runs a single island-GA configuration on the
+// simulated cluster and prints its result, for exploring the design
+// space interactively:
+//
+//	nscc-ga -func 1 -procs 8 -mode global_read -age 10 -gens 200 -load 2e6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nscc/internal/core"
+	"nscc/internal/ga"
+	"nscc/internal/ga/functions"
+	"nscc/internal/netsim"
+)
+
+func main() {
+	var (
+		fnNo     = flag.Int("func", 1, "test function number (1..8, Table 1)")
+		procs    = flag.Int("procs", 4, "number of islands / processors")
+		mode     = flag.String("mode", "global_read", "sync, async, or global_read")
+		age      = flag.Int64("age", 10, "Global_Read staleness bound (generations)")
+		gens     = flag.Int64("gens", 200, "synchronous generations / quality-reference budget")
+		load     = flag.Float64("load", 0, "background loader rate in bits/s (0 = unloaded)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		window   = flag.Int("window", 0, "DSM write window (0 = unlimited); enables coalescing ablation")
+		gray     = flag.Bool("gray", false, "use reflected Gray coding for chromosomes")
+		topology = flag.String("topology", "broadcast", "migration topology: broadcast or ring")
+		interval = flag.Int64("interval", 1, "migrate every N generations")
+		swFabric = flag.Bool("switch", false, "run on the SP2-style crossbar switch instead of the Ethernet")
+		dynAge   = flag.Bool("dynage", false, "adapt the Global_Read age at run time")
+	)
+	flag.Parse()
+
+	fn := functions.ByNo(*fnNo)
+	par := ga.DeJongParams()
+	par.Gray = *gray
+	calib := ga.DefaultCalibration()
+
+	serial := ga.RunSerial(fn, par, par.N**procs, *gens, *seed, calib)
+	fmt.Printf("serial: time=%v best=%.6g avg=%.6g evals=%d\n",
+		serial.Time, serial.Best, serial.Avg, serial.Evals)
+
+	cfg := ga.IslandConfig{
+		Fn: fn, Par: par, P: *procs,
+		FixedGens: *gens, MinGens: *gens, MaxGens: 4 * *gens,
+		Seed: *seed, Calib: calib, LoaderBps: *load,
+		Interval:   *interval,
+		DynamicAge: *dynAge,
+		NodeOpts:   core.Options{Window: *window, Coalesce: *window > 0},
+	}
+	switch *topology {
+	case "broadcast":
+		cfg.Topology = ga.Broadcast
+	case "ring":
+		cfg.Topology = ga.Ring
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	if *swFabric {
+		sw := netsim.DefaultSwitchConfig()
+		cfg.Switch = &sw
+	}
+	switch *mode {
+	case "sync":
+		cfg.Mode = core.Sync
+	case "async":
+		cfg.Mode = core.Async
+	case "global_read":
+		cfg.Mode = core.NonStrict
+		cfg.Age = *age
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if cfg.Mode != core.Sync {
+		// Quality target: the synchronous run's final population average.
+		syncCfg := cfg
+		syncCfg.Mode = core.Sync
+		syncRes, err := ga.RunIsland(syncCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Target = syncRes.Avg
+		fmt.Printf("sync reference: time=%v avg=%.6g\n", syncRes.Completion, syncRes.Avg)
+	}
+
+	res, err := ga.RunIsland(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: completion=%v speedup=%.2f best=%.6g avg=%.6g gens=%v\n",
+		*mode, res.Completion, serial.Time.Seconds()/res.Completion.Seconds(),
+		res.Best, res.Avg, res.Gens)
+	fmt.Printf("  optimum=%v reached-target=%v messages=%d bytes=%d\n",
+		res.OptimumFound, res.ReachedTarget, res.Messages, res.NetBytes)
+	fmt.Printf("  blocked=%d blocked-time=%v queue-delay=%v warp=%.2f coalesced=%d\n",
+		res.Blocked, res.BlockedTime, res.QueueDelay, res.WarpMean, res.Coalesced)
+}

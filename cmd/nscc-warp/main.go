@@ -1,0 +1,84 @@
+// Command nscc-warp visualizes the paper's warp network-load metric
+// (§4.3) over time: it runs an island-GA configuration under each
+// coherence discipline and renders each run's per-window warp as a
+// sparkline, making the onset of network instability under uncontrolled
+// asynchrony directly visible.
+//
+//	nscc-warp -procs 16 -gens 150 [-load 2e6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nscc/internal/core"
+	"nscc/internal/ga"
+	"nscc/internal/ga/functions"
+	"nscc/internal/report"
+)
+
+func main() {
+	var (
+		fnNo  = flag.Int("func", 1, "test function number (1..8)")
+		procs = flag.Int("procs", 16, "number of islands / processors")
+		gens  = flag.Int64("gens", 150, "generation budget")
+		load  = flag.Float64("load", 0, "background loader rate in bits/s")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fn := functions.ByNo(*fnNo)
+	par := ga.DeJongParams()
+	calib := ga.DefaultCalibration()
+	base := ga.IslandConfig{
+		Fn: fn, Par: par, P: *procs,
+		FixedGens: *gens, MinGens: *gens, MaxGens: 4 * *gens,
+		Seed: *seed, Calib: calib, LoaderBps: *load,
+	}
+
+	syncCfg := base
+	syncCfg.Mode = core.Sync
+	syncRes, err := ga.RunIsland(syncCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	target := syncRes.Avg
+
+	fmt.Printf("warp over time (100 ms windows; scale 1..3, ▁ = stable, █ = load growing fast)\n\n")
+	show("sync", syncRes)
+	bars := []report.Bar{{Label: "sync", Value: syncRes.Completion.Seconds()}}
+	for _, v := range []struct {
+		name string
+		mode core.Mode
+		age  int64
+	}{
+		{"async", core.Async, 0},
+		{"gr(age=10)", core.NonStrict, 10},
+		{"gr(age=30)", core.NonStrict, 30},
+	} {
+		cfg := base
+		cfg.Mode = v.mode
+		cfg.Age = v.age
+		cfg.Target = target
+		res, err := ga.RunIsland(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		show(v.name, res)
+		bars = append(bars, report.Bar{Label: v.name, Value: res.Completion.Seconds()})
+	}
+
+	fmt.Println("\ncompletion time in seconds (shorter is better):")
+	fmt.Print(report.BarChart(bars, 48))
+}
+
+func show(name string, r ga.IslandResult) {
+	spark := report.Sparkline(r.WarpWindows, 1, 3)
+	if len(spark) > 72 {
+		spark = spark[:72*3] // runes are 3 bytes; keep ~72 glyphs
+	}
+	fmt.Printf("%-11s mean=%.2f max=%.2f  %s\n", name, r.WarpMean, r.WarpMax, spark)
+}

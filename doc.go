@@ -1,0 +1,13 @@
+// Package nscc reproduces Tambat & Vajapeyam, "Non-Strict Cache
+// Coherence: Exploiting Data-Race Tolerance in Emerging Applications"
+// (ICPP 2000): the blocking Global_Read bounded-staleness read primitive
+// for software DSMs, evaluated with island genetic algorithms and
+// parallel logic-sampling inference in Bayesian belief networks on a
+// simulated IBM SP2 multicomputer with a 10 Mbps shared Ethernet.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// module inventory); runnable entry points are cmd/nscc-bench (which
+// regenerates every table and figure of the paper), cmd/nscc-ga,
+// cmd/nscc-bayes, and the programs under examples/. The benchmarks in
+// bench_test.go exercise one scaled-down instance of each experiment.
+package nscc

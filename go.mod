@@ -1,0 +1,3 @@
+module nscc
+
+go 1.22

@@ -1,0 +1,33 @@
+package bayes_test
+
+import (
+	"fmt"
+
+	"nscc/internal/bayes"
+)
+
+// ExampleExact computes a posterior on the paper's Figure 1 network by
+// full enumeration.
+func ExampleExact() {
+	bn := bayes.Figure1()
+	p := bayes.Exact(bn, bayes.Query{Node: 1, State: 1}) // p(B = true)
+	fmt.Printf("p(B=true) = %.2f\n", p)
+
+	q := bayes.Query{Node: 0, State: 1, Evidence: map[int]int{1: 1}} // p(A=t | B=t)
+	fmt.Printf("p(A=true | B=true) = %.3f\n", bayes.Exact(bn, q))
+	// Output:
+	// p(B=true) = 0.22
+	// p(A=true | B=true) = 0.636
+}
+
+// ExampleInferSerial estimates the same posterior by logic sampling to
+// the paper's stopping rule.
+func ExampleInferSerial() {
+	bn := bayes.Figure1()
+	q := bayes.Query{Node: 1, State: 1}
+	res := bayes.InferSerial(bn, q, 0.02, 42, bayes.DefaultCalibration(), 100000)
+	fmt.Printf("converged=%v estimate within 0.05 of 0.22: %v\n",
+		res.Converged, res.Prob > 0.17 && res.Prob < 0.27)
+	// Output:
+	// converged=true estimate within 0.05 of 0.22: true
+}

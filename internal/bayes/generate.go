@@ -1,0 +1,153 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// randomCPT fills a CPT with skewed Dirichlet-style rows: real belief
+// networks (medical diagnosis, Hailfinder) have strongly peaked
+// conditionals, which is also what makes the asynchronous scheme's
+// most-probable-state defaults good gambles (§3.2). A small floor keeps
+// every state reachable so logic sampling sees genuine variability.
+func randomCPT(combos, states int, rng *rand.Rand) [][]float64 {
+	const (
+		floor         = 0.02
+		concentration = 0.4 // <1: peaked rows
+	)
+	cpt := make([][]float64, combos)
+	for c := range cpt {
+		row := make([]float64, states)
+		sum := 0.0
+		for s := range row {
+			// Gamma(concentration) via Johnk-style rejection is
+			// overkill; exponentiating a uniform gives a similar peaked
+			// spread deterministically cheaply.
+			row[s] = floor + pow(rng.Float64(), 1/concentration)
+			sum += row[s]
+		}
+		for s := range row {
+			row[s] /= sum
+		}
+		cpt[c] = row
+	}
+	return cpt
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Exp(y * math.Log(x))
+}
+
+// Random generates a belief network in the style of the paper's A/AA/C
+// nets [12]: n nodes in topological order with edges placed uniformly at
+// random until the target density is met (equivalent to starting from a
+// complete DAG and deleting random edges), every node taking `states`
+// values. Parents per node are capped so CPTs stay tractable.
+// Deterministic in seed.
+func Random(name string, n int, edgesPerNode float64, states int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	const maxParents = 5
+	target := int(edgesPerNode*float64(n) + 0.5)
+	parents := make([][]int, n)
+	has := make(map[[2]int]bool)
+	edges := 0
+	for guard := 0; edges < target && guard < 100*target; guard++ {
+		c := 1 + rng.Intn(n-1) // child: any non-root position
+		p := rng.Intn(c)       // parent precedes child
+		if has[[2]int{p, c}] || len(parents[c]) >= maxParents {
+			continue
+		}
+		has[[2]int{p, c}] = true
+		parents[c] = append(parents[c], p)
+		edges++
+	}
+	bn := &Network{Name: name, Nodes: make([]Node, n)}
+	for i := 0; i < n; i++ {
+		combos := 1
+		for _, p := range parents[i] {
+			combos *= states
+			_ = p
+		}
+		bn.Nodes[i] = Node{
+			Name:    fmt.Sprintf("%s%d", name, i),
+			States:  states,
+			Parents: parents[i],
+			CPT:     randomCPT(combos, states, rng),
+		}
+	}
+	if err := bn.Validate(); err != nil {
+		panic("bayes: generated invalid network: " + err.Error())
+	}
+	return bn
+}
+
+// Table2Networks builds the four benchmark networks with the structural
+// parameters of Table 2:
+//
+//	A          54 nodes, 2.2 edges/node, 2 values/node
+//	AA         54 nodes, 2.4 edges/node, 2 values/node
+//	C          54 nodes, 2.0 edges/node, 2 values/node
+//	Hailfinder 56 nodes, 1.2 edges/node, 4 values/node
+//
+// The real Hailfinder CPTs are not redistributable; the paper itself
+// notes (§4.2.2, citing [12]) that "most real, large Bayesian networks
+// are proprietary and thus we have to make do with small, synthetic
+// networks". We match its published structure, which is what drives the
+// communication behaviour the experiments measure.
+func Table2Networks() []*Network {
+	return []*Network{
+		Random("A", 54, 2.2, 2, 1001),
+		Random("AA", 54, 2.4, 2, 1002),
+		Random("C", 54, 2.0, 2, 1003),
+		Random("Hailfinder", 56, 1.2, 4, 1004),
+	}
+}
+
+// Figure1 returns the paper's illustrative five-event medical-diagnosis
+// network (Figure 1): A with two children B and C, which share the
+// child D, plus a child E of C. The only probability the paper states
+// explicitly, p(D=true | B=true, C=true) = 0.80, and p(A=true) = 0.20
+// with p(A=false) = 0.80 (used for A's default value), are reproduced
+// exactly; the remaining entries are illustrative. State 1 is "true".
+func Figure1() *Network {
+	t := func(pTrue float64) []float64 { return []float64{1 - pTrue, pTrue} }
+	bn := &Network{
+		Name: "figure1",
+		Nodes: []Node{
+			{Name: "A", States: 2, CPT: [][]float64{t(0.20)}},
+			{Name: "B", States: 2, Parents: []int{0},
+				CPT: [][]float64{t(0.10), t(0.70)}},
+			{Name: "C", States: 2, Parents: []int{0},
+				CPT: [][]float64{t(0.20), t(0.60)}},
+			{Name: "D", States: 2, Parents: []int{1, 2},
+				// Rows ordered by (B, C): ff, ft, tf, tt.
+				CPT: [][]float64{t(0.05), t(0.30), t(0.40), t(0.80)}},
+			{Name: "E", States: 2, Parents: []int{2},
+				CPT: [][]float64{t(0.10), t(0.50)}},
+		},
+	}
+	if err := bn.Validate(); err != nil {
+		panic("bayes: figure1 invalid: " + err.Error())
+	}
+	return bn
+}
+
+// DefaultQuery picks the paper-style experiment query for a network: the
+// last node is queried for its state-0 probability, with one
+// mid-network evidence node observed in its default (most likely)
+// state, keeping logic sampling's rejection rate moderate.
+// Deterministic in the network.
+func DefaultQuery(bn *Network) Query {
+	defs := bn.Defaults(2000, 7)
+	ev := bn.N() / 2
+	q := Query{
+		Node:     bn.N() - 1,
+		State:    0,
+		Evidence: map[int]int{ev: defs[ev]},
+	}
+	return q
+}

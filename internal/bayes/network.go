@@ -1,0 +1,225 @@
+// Package bayes implements the paper's second driver application:
+// probabilistic inference in Bayesian belief networks by the logic
+// sampling approximate algorithm [15], serially and in parallel. The
+// parallel implementations follow §3.2: the network is partitioned
+// across processors; processors exchange the values assigned to
+// interface nodes each sampling iteration; the asynchronous variant
+// gambles on default values and repairs wrong gambles by rollback with
+// antimessages; the partially asynchronous variant throttles the
+// processors with Global_Read so nobody strays far ahead or lags far
+// behind, bounding the number of costly rollbacks.
+package bayes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nscc/internal/partition"
+)
+
+// Node is one event variable of a belief network.
+type Node struct {
+	Name    string
+	States  int   // number of values the event can take
+	Parents []int // indices of parent nodes; all smaller than this node's index
+	// CPT is the conditional probability table: CPT[combo][s] is the
+	// probability of state s given the parent combination combo, where
+	// combo is the mixed-radix index of the parents' states (first
+	// parent most significant).
+	CPT [][]float64
+}
+
+// Network is a Bayesian belief network whose nodes are stored in
+// topological order (every node's parents precede it).
+type Network struct {
+	Name  string
+	Nodes []Node
+}
+
+// N returns the node count.
+func (bn *Network) N() int { return len(bn.Nodes) }
+
+// Edges returns the number of directed dependency edges.
+func (bn *Network) Edges() int {
+	e := 0
+	for i := range bn.Nodes {
+		e += len(bn.Nodes[i].Parents)
+	}
+	return e
+}
+
+// EdgesPerNode returns Table 2's density statistic.
+func (bn *Network) EdgesPerNode() float64 {
+	if bn.N() == 0 {
+		return 0
+	}
+	return float64(bn.Edges()) / float64(bn.N())
+}
+
+// MaxStates returns the largest state count of any node.
+func (bn *Network) MaxStates() int {
+	m := 0
+	for i := range bn.Nodes {
+		if bn.Nodes[i].States > m {
+			m = bn.Nodes[i].States
+		}
+	}
+	return m
+}
+
+// Validate checks topological parent order and CPT shapes/stochasticity.
+func (bn *Network) Validate() error {
+	for i := range bn.Nodes {
+		nd := &bn.Nodes[i]
+		if nd.States < 2 {
+			return fmt.Errorf("bayes: node %d (%s) has %d states", i, nd.Name, nd.States)
+		}
+		combos := 1
+		for _, p := range nd.Parents {
+			if p >= i {
+				return fmt.Errorf("bayes: node %d (%s) has non-topological parent %d", i, nd.Name, p)
+			}
+			if p < 0 {
+				return fmt.Errorf("bayes: node %d has negative parent", i)
+			}
+			combos *= bn.Nodes[p].States
+		}
+		if len(nd.CPT) != combos {
+			return fmt.Errorf("bayes: node %d (%s) CPT has %d rows, want %d", i, nd.Name, len(nd.CPT), combos)
+		}
+		for c, row := range nd.CPT {
+			if len(row) != nd.States {
+				return fmt.Errorf("bayes: node %d CPT row %d has %d entries, want %d", i, c, len(row), nd.States)
+			}
+			sum := 0.0
+			for _, p := range row {
+				if p < 0 {
+					return fmt.Errorf("bayes: node %d CPT row %d has negative probability", i, c)
+				}
+				sum += p
+			}
+			if sum < 1-1e-9 || sum > 1+1e-9 {
+				return fmt.Errorf("bayes: node %d CPT row %d sums to %v", i, c, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// comboIndex computes the CPT row selected by the parents' states in
+// values (which must hold states for all indices < i).
+func (bn *Network) comboIndex(i int, values []int) int {
+	nd := &bn.Nodes[i]
+	combo := 0
+	for _, p := range nd.Parents {
+		combo = combo*bn.Nodes[p].States + values[p]
+	}
+	return combo
+}
+
+// drawFrom samples a state from dist using u in [0,1).
+func drawFrom(dist []float64, u float64) int {
+	acc := 0.0
+	for s, p := range dist {
+		acc += p
+		if u < acc {
+			return s
+		}
+	}
+	return len(dist) - 1
+}
+
+// SampleInto forward-samples every node into values (len >= N) using
+// rng, in topological order.
+func (bn *Network) SampleInto(values []int, rng *rand.Rand) {
+	for i := range bn.Nodes {
+		dist := bn.Nodes[i].CPT[bn.comboIndex(i, values)]
+		values[i] = drawFrom(dist, rng.Float64())
+	}
+}
+
+// SampleNodeAt draws node i's state given the parent states in values,
+// using the deterministic per-(node, iteration, parent-combination)
+// random stream required by rollback replay: re-sampling the same slot
+// with the same parent values reproduces the same state, while a
+// changed parent combination gives an independent draw. seed
+// distinguishes runs.
+func (bn *Network) SampleNodeAt(i int, iter int64, values []int, seed int64) int {
+	combo := bn.comboIndex(i, values)
+	u := hashUniform(seed, int64(i), iter, int64(combo))
+	return drawFrom(bn.Nodes[i].CPT[combo], u)
+}
+
+// hashUniform maps (seed, node, iter, combo) to a uniform in [0,1) with
+// a SplitMix64-style mix.
+func hashUniform(seed, node, iter, combo int64) float64 {
+	z := uint64(seed)
+	for _, v := range [...]uint64{uint64(node), uint64(iter), uint64(combo)} {
+		z += (v + 0x9E3779B97F4A7C15)
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+	}
+	return float64(z>>11) / float64(uint64(1)<<53)
+}
+
+// Defaults returns each node's default value for the asynchronous
+// gambling scheme: the most probable state of the node's marginal
+// distribution, estimated by nSamples forward samples (§3.2 picks
+// defaults "on the basis of the conditional probability distribution of
+// the nodes"). Deterministic in seed.
+func (bn *Network) Defaults(nSamples int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([][]int, bn.N())
+	for i := range counts {
+		counts[i] = make([]int, bn.Nodes[i].States)
+	}
+	values := make([]int, bn.N())
+	for s := 0; s < nSamples; s++ {
+		bn.SampleInto(values, rng)
+		for i, v := range values {
+			counts[i][v]++
+		}
+	}
+	defs := make([]int, bn.N())
+	for i, c := range counts {
+		best := 0
+		for s, n := range c {
+			if n > c[best] {
+				best = s
+			}
+		}
+		defs[i] = best
+	}
+	return defs
+}
+
+// Graph returns the undirected dependency graph (for partitioning and
+// Table 2's edge-cut).
+func (bn *Network) Graph() *partition.Graph {
+	g := partition.NewGraph(bn.N())
+	for i := range bn.Nodes {
+		for _, p := range bn.Nodes[i].Parents {
+			g.AddEdge(p, i)
+		}
+	}
+	return g
+}
+
+// Query asks for the probability that Node takes State given the
+// Evidence instantiation.
+type Query struct {
+	Node     int
+	State    int
+	Evidence map[int]int // node -> observed state
+}
+
+// Matches reports whether a full sample agrees with the evidence.
+func (q Query) Matches(values []int) bool {
+	for n, s := range q.Evidence {
+		if values[n] != s {
+			return false
+		}
+	}
+	return true
+}

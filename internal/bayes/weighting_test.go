@@ -1,0 +1,76 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLWConvergesToExact(t *testing.T) {
+	bn := Figure1()
+	q := Query{Node: 3, State: 1, Evidence: map[int]int{0: 1}}
+	want := Exact(bn, q)
+	res := InferSerialLW(bn, q, 0.01, 4, DefaultCalibration(), 2_000_000)
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if math.Abs(res.Prob-want) > 0.02 {
+		t.Fatalf("LW estimate %v, exact %v", res.Prob, want)
+	}
+	// effN <= iters up to floating-point rounding (equal weights give
+	// exact equality).
+	if res.EffN <= 0 || res.EffN > float64(res.Iters)+1 {
+		t.Fatalf("effective N %v of %d iters", res.EffN, res.Iters)
+	}
+}
+
+func TestLWBeatsRejectionUnderUnlikelyEvidence(t *testing.T) {
+	bn := Figure1()
+	// Evidence A=true has probability 0.2; rejection sampling throws
+	// away 80% of samples, LW none.
+	q := Query{Node: 3, State: 1, Evidence: map[int]int{0: 1}}
+	ls := InferSerial(bn, q, 0.015, 9, DefaultCalibration(), 2_000_000)
+	lw := InferSerialLW(bn, q, 0.015, 9, DefaultCalibration(), 2_000_000)
+	if !ls.Converged || !lw.Converged {
+		t.Fatalf("runs did not converge: %+v %+v", ls, lw)
+	}
+	if lw.Iters >= ls.Iters {
+		t.Fatalf("LW needed %d iterations, rejection sampling %d; LW should need fewer", lw.Iters, ls.Iters)
+	}
+	if math.Abs(lw.Prob-ls.Prob) > 0.04 {
+		t.Fatalf("the two estimators disagree: %v vs %v", lw.Prob, ls.Prob)
+	}
+}
+
+func TestLWNoEvidenceWeightsAreOne(t *testing.T) {
+	bn := Figure1()
+	q := Query{Node: 1, State: 1}
+	res := InferSerialLW(bn, q, 0.02, 5, DefaultCalibration(), 500_000)
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	// With no evidence every weight is 1, so effN == iters.
+	if math.Abs(res.EffN-float64(res.Iters)) > 0.5 {
+		t.Fatalf("effN %v != iters %d with unit weights", res.EffN, res.Iters)
+	}
+	if math.Abs(res.Prob-0.22) > 0.02 {
+		t.Fatalf("p(B=t) = %v, want ~0.22", res.Prob)
+	}
+}
+
+func TestLWDeterministic(t *testing.T) {
+	bn := Table2Networks()[1]
+	q := DefaultQuery(bn)
+	a := InferSerialLW(bn, q, 0.03, 6, DefaultCalibration(), 50_000)
+	b := InferSerialLW(bn, q, 0.03, 6, DefaultCalibration(), 50_000)
+	if a != b {
+		t.Fatalf("LW nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestLWRespectsCap(t *testing.T) {
+	bn := Figure1()
+	res := InferSerialLW(bn, Query{Node: 3, State: 1}, 1e-9, 1, DefaultCalibration(), 400)
+	if res.Converged || res.Iters != 400 {
+		t.Fatalf("cap not honored: %+v", res)
+	}
+}

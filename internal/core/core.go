@@ -1,0 +1,380 @@
+// Package core implements the paper's contribution: non-strict cache
+// coherence via the blocking Global_Read primitive.
+//
+// A Location is a shared datum with a single writer and a statically
+// known set of readers (the applications studied — island GAs, parallel
+// logic sampling — have exactly this structure, which is why the paper
+// implements shared-memory writes and reads as direct PVM sends and
+// receives, §4.1). Each write carries the writer's iteration number; a
+// per-node user-level buffer keeps the freshest update received per
+// location. Global_Read(locn, curriter, age) returns a value of locn
+// generated no earlier than iteration curriter-age of the writing
+// process, blocking the reader until such a value is available. The
+// blocked reader sends no messages of its own, so the primitive is
+// receiver-side, program-level flow control: it converts a fully
+// asynchronous iterative algorithm into a partially asynchronous one.
+//
+// Per the paper we implement the blocking-wait variant (wait for the
+// required update to arrive) rather than the request-based variant
+// (broadcast a request for a fresh copy); the latter is available behind
+// an option for the ablation benchmark.
+package core
+
+import (
+	"fmt"
+
+	"nscc/internal/pvm"
+	"nscc/internal/sim"
+)
+
+// Mode names the coherence discipline an application variant runs under.
+type Mode int
+
+const (
+	// Sync is the barrier-synchronized implementation: every iteration
+	// ends with a message barrier and reads always observe the
+	// immediately preceding iteration's values.
+	Sync Mode = iota
+	// Async is the fully asynchronous implementation: reads return
+	// whatever has arrived, however stale, and never block.
+	Async
+	// NonStrict is the partially asynchronous implementation: reads go
+	// through Global_Read with a finite age bound.
+	NonStrict
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sync:
+		return "sync"
+	case Async:
+		return "async"
+	case NonStrict:
+		return "global_read"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// NoValue is the iteration number reported for a location never yet
+// received.
+const NoValue int64 = -1 << 62
+
+// Location describes one shared datum: a single writer task and the
+// reader tasks that consume it. Sizes are what each update message
+// charges to the network.
+type Location struct {
+	ID      int
+	Name    string
+	Writer  int   // writer task id
+	Readers []int // reader task ids (excluding the writer)
+	Size    int   // bytes per update message
+}
+
+// Update is a received value of a location together with its age
+// bookkeeping.
+type Update struct {
+	Value     interface{}
+	Iter      int64    // writer iteration that generated the value
+	WrittenAt sim.Time // virtual time of the write
+}
+
+// updateMsg travels from writer to reader. All DSM traffic shares one
+// PVM tag; the location id rides in the payload.
+type updateMsg struct {
+	Loc   int
+	Iter  int64
+	Value interface{}
+	WAt   sim.Time
+}
+
+// reqMsg is the request-based Global_Read's "please send me a fresh
+// copy" message (ablation only).
+type reqMsg struct {
+	Loc     int
+	MinIter int64
+}
+
+// UpdateTag is the PVM tag carrying DSM update messages.
+const UpdateTag = 1 << 14
+
+// RequestTag is the PVM tag carrying request-based read solicitations.
+const RequestTag = UpdateTag + 1
+
+// requestMsgSize is the network size of a solicitation (a location id
+// and an iteration bound).
+const requestMsgSize = 16
+
+// Options configure a Node.
+type Options struct {
+	// Window bounds the writer's in-flight update frames; writes beyond
+	// the window queue in a local outbox until earlier frames clear the
+	// wire. 0 means unlimited (send immediately).
+	Window int
+	// Coalesce, with a finite Window, lets a queued outbox update of a
+	// location be overwritten by a newer write of the same location —
+	// the slow-memory-style buffering of Mermera [18] that "amortizes
+	// message overheads by coalescing several updates of a single
+	// shared memory location".
+	Coalesce bool
+	// RequestRead switches Global_Read to the request-based protocol:
+	// when blocking, the reader first sends the writer a solicitation.
+	// The paper rejects this variant for its extra messages (§2); it is
+	// kept for the ablation benchmark.
+	RequestRead bool
+	// Observer, if set, sees every received update message (fresh or
+	// stale) before the buffer decides whether to keep it. Applications
+	// that need the full update stream — e.g. per-iteration interface
+	// values in parallel logic sampling — hook in here.
+	Observer func(locID int, u Update)
+}
+
+// Stats counts a node's DSM activity.
+type Stats struct {
+	Writes       int64        // application writes
+	UpdatesSent  int64        // update messages put on the network
+	Coalesced    int64        // outbox updates overwritten before sending
+	Reads        int64        // async reads
+	GlobalReads  int64        // Global_Read calls
+	BlockedReads int64        // Global_Read calls that had to block
+	BlockedTime  sim.Duration // total time spent blocked in Global_Read
+	Requests     int64        // solicitations sent (request-based mode)
+	StaleSum     int64        // sum over Global_Reads of (curIter - returned Iter)
+	StaleMax     int64        // max staleness returned by any Global_Read
+}
+
+type outboxEntry struct {
+	loc  *Location
+	iter int64
+	val  interface{}
+	wAt  sim.Time
+	size int
+}
+
+// Node is one task's view of the distributed shared memory: the local
+// buffer of freshest updates plus the write path to this task's readers.
+type Node struct {
+	task *pvm.Task
+	locs map[int]*Location
+	buf  map[int]Update
+	opts Options
+
+	inFlight int
+	outbox   []outboxEntry
+	stats    Stats
+}
+
+// NewNode attaches a DSM node to a PVM task. Every location the task
+// writes or reads must be registered via Register before use.
+func NewNode(task *pvm.Task, opts Options) *Node {
+	return &Node{
+		task: task,
+		locs: make(map[int]*Location),
+		buf:  make(map[int]Update),
+		opts: opts,
+	}
+}
+
+// Task returns the underlying PVM task.
+func (n *Node) Task() *pvm.Task { return n.task }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Register declares a location to the node. Registering the same id
+// twice with a different location panics.
+func (n *Node) Register(loc *Location) {
+	if prev, ok := n.locs[loc.ID]; ok && prev != loc {
+		panic(fmt.Sprintf("core: location %d registered twice", loc.ID))
+	}
+	n.locs[loc.ID] = loc
+}
+
+// Write publishes value as the iteration iter value of loc. One update
+// message per reader enters the network (subject to the window/outbox).
+// Iterations must be non-decreasing per location.
+func (n *Node) Write(loc *Location, iter int64, value interface{}) {
+	n.WriteSized(loc, iter, loc.Size, value)
+}
+
+// WriteSized is Write with an explicit message size, for locations
+// whose update payloads vary (e.g. batched interface bundles).
+func (n *Node) WriteSized(loc *Location, iter int64, size int, value interface{}) {
+	if loc.Writer != n.task.ID() {
+		panic(fmt.Sprintf("core: task %d writing location %q owned by %d",
+			n.task.ID(), loc.Name, loc.Writer))
+	}
+	n.stats.Writes++
+	// The writer's own buffer always sees its latest value.
+	n.buf[loc.ID] = Update{Value: value, Iter: iter, WrittenAt: n.task.Now()}
+
+	if n.opts.Window > 0 && n.inFlight >= n.opts.Window {
+		if n.opts.Coalesce {
+			for i := range n.outbox {
+				if n.outbox[i].loc.ID == loc.ID {
+					n.outbox[i] = outboxEntry{loc, iter, value, n.task.Now(), size}
+					n.stats.Coalesced++
+					return
+				}
+			}
+		}
+		n.outbox = append(n.outbox, outboxEntry{loc, iter, value, n.task.Now(), size})
+		return
+	}
+	n.sendUpdate(loc, iter, value, n.task.Now(), size)
+}
+
+func (n *Node) sendUpdate(loc *Location, iter int64, value interface{}, wAt sim.Time, size int) {
+	if len(loc.Readers) == 0 {
+		return
+	}
+	msg := &updateMsg{Loc: loc.ID, Iter: iter, Value: value, WAt: wAt}
+	n.inFlight++
+	n.task.Multicast(loc.Readers, UpdateTag, size, msg, func() {
+		n.inFlight--
+	})
+	n.stats.UpdatesSent++
+}
+
+// Flush drains as much of the outbox as the window now allows. Called
+// implicitly by every DSM operation; applications can also call it
+// directly (e.g. once per iteration).
+func (n *Node) Flush() {
+	for len(n.outbox) > 0 {
+		e := n.outbox[0]
+		if n.opts.Window > 0 && n.inFlight >= n.opts.Window {
+			return
+		}
+		copy(n.outbox, n.outbox[1:])
+		n.outbox = n.outbox[:len(n.outbox)-1]
+		n.sendUpdate(e.loc, e.iter, e.val, e.wAt, e.size)
+	}
+}
+
+// drain applies all DSM update messages waiting in the PVM queue to the
+// local buffer, and answers any read solicitations.
+func (n *Node) drain() {
+	for {
+		m := n.task.NRecv(pvm.Any, UpdateTag)
+		if m == nil {
+			break
+		}
+		n.apply(m.Data.(*updateMsg))
+	}
+	n.serveRequests()
+}
+
+// apply installs an update if it is fresher than what the buffer holds.
+// Stale (out-of-order or duplicate) updates are dropped — non-strict
+// coherence only ever moves forward.
+func (n *Node) apply(u *updateMsg) {
+	if n.opts.Observer != nil {
+		n.opts.Observer(u.Loc, Update{Value: u.Value, Iter: u.Iter, WrittenAt: u.WAt})
+	}
+	cur, ok := n.buf[u.Loc]
+	if !ok || u.Iter > cur.Iter {
+		n.buf[u.Loc] = Update{Value: u.Value, Iter: u.Iter, WrittenAt: u.WAt}
+	}
+}
+
+// serveRequests answers pending solicitations (request-based ablation):
+// re-send the current value of the requested location to the asker.
+func (n *Node) serveRequests() {
+	for {
+		m := n.task.NRecv(pvm.Any, RequestTag)
+		if m == nil {
+			return
+		}
+		req := m.Data.(*reqMsg)
+		loc, ok := n.locs[req.Loc]
+		if !ok || loc.Writer != n.task.ID() {
+			continue
+		}
+		if cur, ok := n.buf[req.Loc]; ok {
+			msg := &updateMsg{Loc: loc.ID, Iter: cur.Iter, Value: cur.Value, WAt: cur.WrittenAt}
+			n.task.Send(m.Src, UpdateTag, loc.Size, msg)
+			n.stats.UpdatesSent++
+		}
+	}
+}
+
+// Poll services the DSM without reading any particular location: it
+// flushes the outbox and applies all pending update messages to the
+// local buffer (feeding the Observer, if any). Fully asynchronous
+// applications call it once per iteration.
+func (n *Node) Poll() {
+	n.Flush()
+	n.drain()
+}
+
+// Read is the fully asynchronous read: it returns the freshest update
+// that has arrived for loc (ok=false if none ever has) and never blocks.
+func (n *Node) Read(loc *Location) (Update, bool) {
+	n.Flush()
+	n.drain()
+	n.stats.Reads++
+	u, ok := n.buf[loc.ID]
+	return u, ok
+}
+
+// GlobalRead is the paper's primitive: it returns an update of loc
+// generated no earlier than iteration curIter-age of the writer,
+// blocking until one is available. The blocked process cannot send
+// messages, which is exactly the flow-control effect the paper exploits.
+//
+// When curIter-age < 0, no value is required to exist yet (the writer's
+// first iteration is 0); if none has arrived, GlobalRead returns
+// immediately with a zero Update whose Iter is NoValue rather than
+// blocking on a value the contract does not demand.
+func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
+	n.Flush()
+	n.drain()
+	n.stats.GlobalReads++
+	minIter := curIter - age
+
+	u, ok := n.buf[loc.ID]
+	if ok && u.Iter >= minIter {
+		n.recordStaleness(curIter, u.Iter)
+		return u
+	}
+	if !ok && minIter < 0 {
+		return Update{Iter: NoValue}
+	}
+
+	// Block until a sufficiently fresh value arrives.
+	n.stats.BlockedReads++
+	start := n.task.Now()
+	if n.opts.RequestRead {
+		n.task.Send(loc.Writer, RequestTag, requestMsgSize, &reqMsg{Loc: loc.ID, MinIter: minIter})
+		n.stats.Requests++
+	}
+	for {
+		m := n.task.Recv(pvm.Any, UpdateTag)
+		n.apply(m.Data.(*updateMsg))
+		if u, ok := n.buf[loc.ID]; ok && u.Iter >= minIter {
+			n.stats.BlockedTime += n.task.Now().Sub(start)
+			n.recordStaleness(curIter, u.Iter)
+			return u
+		}
+	}
+}
+
+func (n *Node) recordStaleness(curIter, gotIter int64) {
+	s := curIter - gotIter
+	if s < 0 {
+		s = 0
+	}
+	n.stats.StaleSum += s
+	if s > n.stats.StaleMax {
+		n.stats.StaleMax = s
+	}
+}
+
+// Have reports the iteration of the freshest buffered value of loc
+// (NoValue if none), without draining the message queue.
+func (n *Node) Have(loc *Location) int64 {
+	if u, ok := n.buf[loc.ID]; ok {
+		return u.Iter
+	}
+	return NoValue
+}

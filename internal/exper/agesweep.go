@@ -1,0 +1,146 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"nscc/internal/core"
+	"nscc/internal/ga"
+	"nscc/internal/ga/functions"
+	"nscc/internal/netsim"
+	"nscc/internal/sim"
+)
+
+// AgeSweepRow is one (age, load) point of the staleness sweep.
+type AgeSweepRow struct {
+	Age     int64
+	LoadBps float64
+	Speedup float64
+	Blocked sim.Duration
+	Warp    float64
+}
+
+// AgeSweepResult is the age-vs-speedup surface for one function and
+// processor count, across background loads — the paper's §6 point that
+// "different degrees of asynchrony are best for different programs and
+// network loads", made into an experiment. The dynamic-age extension is
+// included as the final pseudo-age row of each load.
+type AgeSweepResult struct {
+	Fn      *functions.Function
+	P       int
+	Rows    []AgeSweepRow
+	Dynamic []AgeSweepRow // one per load, run-time-adapted age
+}
+
+// ageSweepAges is a denser grid than the paper's figure set, to resolve
+// the optimum.
+var ageSweepAges = []int64{0, 2, 5, 10, 20, 30, 50}
+
+// AgeSweep measures speedup as a function of the Global_Read age for fn
+// on p processors, at each background load level, plus the dynamic-age
+// adaptation for comparison.
+func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []float64) (AgeSweepResult, error) {
+	if fn == nil {
+		fn = functions.F1
+	}
+	if loads == nil {
+		loads = []float64{0, 2e6}
+	}
+	res := AgeSweepResult{Fn: fn, P: p}
+	par := ga.DeJongParams()
+	calib := ga.DefaultCalibration()
+
+	for _, load := range loads {
+		var serialSum, syncAvgSum sim.Duration
+		targets := make([]float64, opts.Trials)
+		serials := make([]sim.Duration, opts.Trials)
+		for trial := 0; trial < opts.Trials; trial++ {
+			seed := opts.Seed + int64(trial)*7919
+			serial := ga.RunSerial(fn, par, par.N*p, opts.SyncGens, seed, calib)
+			serials[trial] = serial.Time
+			serialSum += serial.Time
+			syncCfg := ga.IslandConfig{
+				Fn: fn, Par: par, P: p, Mode: core.Sync,
+				FixedGens: opts.SyncGens, Seed: seed, Calib: calib, LoaderBps: load,
+			}
+			if opts.UseSwitch {
+				sw := netsim.DefaultSwitchConfig()
+				syncCfg.Switch = &sw
+			}
+			syncRes, err := ga.RunIsland(syncCfg)
+			if err != nil {
+				return res, err
+			}
+			targets[trial] = syncRes.Avg
+			syncAvgSum += syncRes.Completion
+		}
+
+		runAge := func(age int64, dynamic bool) (AgeSweepRow, error) {
+			row := AgeSweepRow{Age: age, LoadBps: load}
+			var compSum sim.Duration
+			var warpSum float64
+			for trial := 0; trial < opts.Trials; trial++ {
+				seed := opts.Seed + int64(trial)*7919
+				cfg := ga.IslandConfig{
+					Fn: fn, Par: par, P: p, Mode: core.NonStrict, Age: age,
+					FixedGens: opts.SyncGens, MinGens: opts.SyncGens,
+					MaxGens: int64(opts.CapFactor * float64(opts.SyncGens)),
+					Target:  targets[trial],
+					Seed:    seed, Calib: calib, LoaderBps: load,
+					DynamicAge: dynamic,
+				}
+				if opts.UseSwitch {
+					sw := netsim.DefaultSwitchConfig()
+					cfg.Switch = &sw
+				}
+				r, err := ga.RunIsland(cfg)
+				if err != nil {
+					return row, err
+				}
+				compSum += r.Completion
+				row.Blocked += r.BlockedTime
+				warpSum += r.WarpMean
+			}
+			row.Speedup = ratio(serialSum, compSum)
+			row.Warp = warpSum / float64(opts.Trials)
+			return row, nil
+		}
+
+		for _, age := range ageSweepAges {
+			row, err := runAge(age, false)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		dyn, err := runAge(1, true)
+		if err != nil {
+			return res, err
+		}
+		res.Dynamic = append(res.Dynamic, dyn)
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "Age sweep: F%d, %d processors (speedup over serial per age and load)\n", fn.No, p)
+		fmt.Fprintf(w, "%-10s %6s %9s %12s %6s\n", "load", "age", "speedup", "blocked", "warp")
+		for _, r := range res.Rows {
+			fmt.Fprintf(w, "%-10s %6d %9.2f %12v %6.2f\n",
+				fmt.Sprintf("%.1fMbps", r.LoadBps/1e6), r.Age, r.Speedup, r.Blocked, r.Warp)
+		}
+		for _, r := range res.Dynamic {
+			fmt.Fprintf(w, "%-10s %6s %9.2f %12v %6.2f\n",
+				fmt.Sprintf("%.1fMbps", r.LoadBps/1e6), "dyn", r.Speedup, r.Blocked, r.Warp)
+		}
+	}
+	return res, nil
+}
+
+// BestAge returns the best-performing fixed age at the given load.
+func (r AgeSweepResult) BestAge(loadBps float64) (age int64, speedup float64) {
+	for _, row := range r.Rows {
+		if row.LoadBps == loadBps && row.Speedup > speedup {
+			age, speedup = row.Age, row.Speedup
+		}
+	}
+	return
+}

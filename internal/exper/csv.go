@@ -1,0 +1,72 @@
+package exper
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteGARowsCSV emits GA experiment rows as CSV (one line per
+// (bench, P, load, variant) combination) for external plotting.
+func WriteGARowsCSV(w io.Writer, rows []GARow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bench", "procs", "load_bps", "variant", "speedup",
+		"optimum_found", "target_miss", "warp"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		name := "average"
+		if r.Fn != nil {
+			name = fmt.Sprintf("F%d", r.Fn.No)
+		}
+		for _, v := range Variants() {
+			rec := []string{
+				name,
+				fmt.Sprintf("%d", r.P),
+				fmt.Sprintf("%.0f", r.LoadBps),
+				v.String(),
+				fmt.Sprintf("%.4f", r.Speedup[v]),
+				fmt.Sprintf("%d", r.OptFound[v]),
+				fmt.Sprintf("%d", r.TargetMiss[v]),
+				fmt.Sprintf("%.3f", r.Warp[v]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBayesRowsCSV emits Figure 3 rows as CSV.
+func WriteBayesRowsCSV(w io.Writer, res Figure3Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"network", "variant", "speedup", "rollbacks", "iters"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rows := append([]BayesRow{}, res.Rows...)
+	rows = append(rows, res.Average)
+	for _, r := range rows {
+		name := "average"
+		if r.Net != nil {
+			name = r.Net.Name
+		}
+		for _, v := range bayesVariants() {
+			rec := []string{
+				name,
+				v.String(),
+				fmt.Sprintf("%.4f", r.Speedup[v]),
+				fmt.Sprintf("%.1f", r.Rollbacks[v]),
+				fmt.Sprintf("%.1f", r.Iters[v]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

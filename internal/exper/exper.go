@@ -1,0 +1,311 @@
+// Package exper drives the paper's experiments: one function per table
+// and figure of the evaluation (§5), each running the full protocol —
+// serial baseline, synchronous, fully asynchronous, and Global_Read
+// implementations at every age setting — over repeated seeded trials,
+// and formatting the same rows/series the paper reports.
+//
+// Two profiles are provided: Quick (the default for benchmarks and CI —
+// fewer trials and generations, same experimental structure) and Full
+// (paper scale: 1000-generation synchronous GAs, 25 GA trials, 10
+// inference trials).
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"nscc/internal/core"
+	"nscc/internal/ga"
+	"nscc/internal/ga/functions"
+	"nscc/internal/netsim"
+	"nscc/internal/sim"
+)
+
+// Ages is the paper's Global_Read staleness sweep.
+var Ages = []int64{0, 5, 10, 20, 30}
+
+// Variant identifies one implementation in the comparisons.
+type Variant struct {
+	Mode core.Mode
+	Age  int64 // meaningful for NonStrict only
+}
+
+func (v Variant) String() string {
+	if v.Mode == core.NonStrict {
+		return fmt.Sprintf("gr(%d)", v.Age)
+	}
+	return v.Mode.String()
+}
+
+// Variants returns the paper's comparison set: sync, async, and
+// Global_Read at each age.
+func Variants() []Variant {
+	vs := []Variant{{Mode: core.Sync}, {Mode: core.Async}}
+	for _, a := range Ages {
+		vs = append(vs, Variant{Mode: core.NonStrict, Age: a})
+	}
+	return vs
+}
+
+// Options scales the experiment protocol.
+type Options struct {
+	Trials    int     // seeded repetitions averaged (paper: 25 GA, 10 BN)
+	SyncGens  int64   // synchronous GA generation count (paper: 1000)
+	CapFactor float64 // MaxGens/MaxIters = CapFactor * reference length
+	Procs     []int   // processor counts for Figure 2
+	Seed      int64
+	Precision float64 // inference CI half-width target (paper: 0.01)
+	// UseSwitch runs the GA experiments on the SP2-style crossbar
+	// switch instead of the shared Ethernet (the extension experiment
+	// behind the paper's §4.1 expectation).
+	UseSwitch bool
+}
+
+// Quick returns the fast profile used by the benchmark harness: the
+// full experimental structure at reduced trial counts and generation
+// budgets.
+func Quick() Options {
+	return Options{
+		Trials:    2,
+		SyncGens:  120,
+		CapFactor: 4,
+		Procs:     []int{2, 4, 8, 16},
+		Seed:      2000,
+		Precision: 0.02,
+	}
+}
+
+// Full returns the paper-scale profile (§4.3, §5.1).
+func Full() Options {
+	return Options{
+		Trials:    25,
+		SyncGens:  1000,
+		CapFactor: 4,
+		Procs:     []int{2, 4, 8, 16},
+		Seed:      2000,
+		Precision: 0.01,
+	}
+}
+
+// GARow is one (function, processors) cell of Figures 2/4: mean speedup
+// over the serial program for each variant, plus the derived best-GR
+// versus best-competitor improvement.
+type GARow struct {
+	Fn       *functions.Function
+	P        int
+	LoadBps  float64
+	Speedup  map[Variant]float64 // mean over trials
+	BestGR   float64             // best Global_Read speedup
+	BestComp float64             // best of serial (1.0), sync, async
+	// Improve is the paper's headline metric: best partially
+	// asynchronous over best competitor, as a ratio (1.42 = 42% faster).
+	Improve float64
+	// Quality bookkeeping.
+	OptFound   map[Variant]int // trials in which the optimum was reached
+	TargetMiss map[Variant]int // trials in which the variant hit MaxGens without matching sync quality
+	// Warp is the mean warp metric per variant (network stability: 1 =
+	// stable, >>1 = load increasing; §4.3).
+	Warp map[Variant]float64
+}
+
+// gaTrial runs the full variant protocol for one (function, P, seed),
+// returning the serial baseline time, each variant's completion time,
+// and whether each variant found the optimum. The paper's average
+// metric needs raw times ("the ratio of the sum of the execution times
+// for the serial program for all the benchmarks to that for the
+// parallel programs"), so times rather than ratios are returned.
+// trialOut is one gaTrial's raw measurements.
+type trialOut struct {
+	serial sim.Duration
+	times  map[Variant]sim.Duration
+	found  map[Variant]bool
+	missed map[Variant]bool
+	warp   map[Variant]float64
+}
+
+func gaTrial(fn *functions.Function, p int, seed int64, opts Options, loadBps float64) (trialOut, error) {
+	par := ga.DeJongParams()
+	calib := ga.DefaultCalibration()
+	serial := ga.RunSerial(fn, par, par.N*p, opts.SyncGens, seed, calib)
+
+	base := ga.IslandConfig{
+		Fn: fn, Par: par, P: p,
+		FixedGens: opts.SyncGens,
+		MinGens:   opts.SyncGens,
+		MaxGens:   int64(opts.CapFactor * float64(opts.SyncGens)),
+		Seed:      seed,
+		Calib:     calib,
+		LoaderBps: loadBps,
+	}
+	if opts.UseSwitch {
+		sw := netsim.DefaultSwitchConfig()
+		base.Switch = &sw
+	}
+
+	out := trialOut{
+		serial: serial.Time,
+		times:  make(map[Variant]sim.Duration),
+		found:  make(map[Variant]bool),
+		missed: make(map[Variant]bool),
+		warp:   make(map[Variant]float64),
+	}
+	record := func(v Variant, r ga.IslandResult) {
+		out.times[v] = r.Completion
+		out.found[v] = r.OptimumFound
+		out.missed[v] = !r.ReachedTarget
+		out.warp[v] = r.WarpMean
+	}
+
+	syncCfg := base
+	syncCfg.Mode = core.Sync
+	syncRes, err := ga.RunIsland(syncCfg)
+	if err != nil {
+		return out, fmt.Errorf("sync: %w", err)
+	}
+	record(Variant{Mode: core.Sync}, syncRes)
+
+	// The asynchronous and controlled versions run until a
+	// subpopulation's average fitness converges at least as far as the
+	// synchronous program's final average (§5.1.1).
+	target := syncRes.Avg
+
+	asyncCfg := base
+	asyncCfg.Mode = core.Async
+	asyncCfg.Target = target
+	asyncRes, err := ga.RunIsland(asyncCfg)
+	if err != nil {
+		return out, fmt.Errorf("async: %w", err)
+	}
+	record(Variant{Mode: core.Async}, asyncRes)
+
+	for _, age := range Ages {
+		cfg := base
+		cfg.Mode = core.NonStrict
+		cfg.Age = age
+		cfg.Target = target
+		res, err := ga.RunIsland(cfg)
+		if err != nil {
+			return out, fmt.Errorf("gr(%d): %w", age, err)
+		}
+		record(Variant{Mode: core.NonStrict, Age: age}, res)
+	}
+	return out, nil
+}
+
+func ratio(a, b sim.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a.Seconds() / b.Seconds()
+}
+
+// gaSums accumulates raw times across trials (and, for the average
+// row, across functions).
+type gaSums struct {
+	serial sim.Duration
+	comp   map[Variant]sim.Duration
+	found  map[Variant]int
+	missed map[Variant]int
+	warp   map[Variant]float64
+	trials int
+}
+
+func newGASums() *gaSums {
+	return &gaSums{
+		comp:   make(map[Variant]sim.Duration),
+		found:  make(map[Variant]int),
+		missed: make(map[Variant]int),
+		warp:   make(map[Variant]float64),
+	}
+}
+
+func (a *gaSums) add(out trialOut) {
+	a.serial += out.serial
+	for v, t := range out.times {
+		a.comp[v] += t
+	}
+	for v, ok := range out.found {
+		if ok {
+			a.found[v]++
+		}
+	}
+	for v, miss := range out.missed {
+		if miss {
+			a.missed[v]++
+		}
+	}
+	for v, w := range out.warp {
+		a.warp[v] += w
+	}
+	a.trials++
+}
+
+// row derives the paper's metrics from the accumulated times.
+func (a *gaSums) row(fn *functions.Function, p int, loadBps float64) GARow {
+	row := GARow{
+		Fn: fn, P: p, LoadBps: loadBps,
+		Speedup:    make(map[Variant]float64),
+		OptFound:   a.found,
+		TargetMiss: a.missed,
+		Warp:       make(map[Variant]float64),
+	}
+	for v, t := range a.comp {
+		row.Speedup[v] = ratio(a.serial, t)
+	}
+	for v, w := range a.warp {
+		if a.trials > 0 {
+			row.Warp[v] = w / float64(a.trials)
+		}
+	}
+	row.BestComp = 1.0 // the serial program itself
+	for _, v := range []Variant{{Mode: core.Sync}, {Mode: core.Async}} {
+		if s := row.Speedup[v]; s > row.BestComp {
+			row.BestComp = s
+		}
+	}
+	for _, age := range Ages {
+		if s := row.Speedup[Variant{Mode: core.NonStrict, Age: age}]; s > row.BestGR {
+			row.BestGR = s
+		}
+	}
+	row.Improve = row.BestGR / row.BestComp
+	return row
+}
+
+// GACell runs opts.Trials seeded trials of one (function, P, load)
+// cell and derives the comparison metrics.
+func GACell(fn *functions.Function, p int, opts Options, loadBps float64) (GARow, error) {
+	acc := newGASums()
+	for trial := 0; trial < opts.Trials; trial++ {
+		seed := opts.Seed + int64(trial)*7919 + int64(fn.No)*31 + int64(p)
+		out, err := gaTrial(fn, p, seed, opts, loadBps)
+		if err != nil {
+			return GARow{}, err
+		}
+		acc.add(out)
+	}
+	return acc.row(fn, p, loadBps), nil
+}
+
+// printGARows renders rows in the paper's bar-chart layout as a text
+// table.
+func printGARows(w io.Writer, caption string, rows []GARow) {
+	fmt.Fprintf(w, "%s\n", caption)
+	fmt.Fprintf(w, "%-10s %4s", "bench", "P")
+	for _, v := range Variants() {
+		fmt.Fprintf(w, " %8s", v)
+	}
+	fmt.Fprintf(w, " %8s %8s %9s %10s\n", "best-gr", "best-cmp", "improve", "warp(asy)")
+	for _, r := range rows {
+		name := "average"
+		if r.Fn != nil {
+			name = fmt.Sprintf("F%d", r.Fn.No)
+		}
+		fmt.Fprintf(w, "%-10s %4d", name, r.P)
+		for _, v := range Variants() {
+			fmt.Fprintf(w, " %8.2f", r.Speedup[v])
+		}
+		fmt.Fprintf(w, " %8.2f %8.2f %+8.0f%% %10.2f\n",
+			r.BestGR, r.BestComp, (r.Improve-1)*100, r.Warp[Variant{Mode: core.Async}])
+	}
+}

@@ -1,0 +1,359 @@
+// Package ga implements the paper's genetic-algorithm workload: a
+// generational GA with DeJong's parameter settings (§4.2.1: N=50, C=0.6,
+// M=0.001, G=1, W=1, elitist selection), a serial runner with the
+// fitness-caching optimization the paper applies to its sequential
+// baselines, and the coarse-grained "island" parallel GA in its
+// synchronous, fully asynchronous and Global_Read-controlled variants.
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nscc/internal/ga/functions"
+)
+
+// Params are the six GA parameters of §4.2.1.
+type Params struct {
+	N       int     // population (deme) size
+	C       float64 // crossover rate
+	M       float64 // per-bit mutation rate
+	G       float64 // generation gap (1 = full generational replacement)
+	W       int     // scaling window (generations of worst-value history)
+	Elitist bool    // S=E: best individual survives unchanged
+	Gray    bool    // interpret chromosomes as reflected Gray code
+}
+
+// DeJongParams returns the paper's settings: N=50, C=0.6, M=0.001, G=1,
+// W=1, S=E.
+func DeJongParams() Params {
+	return Params{N: 50, C: 0.6, M: 0.001, G: 1, W: 1, Elitist: true}
+}
+
+// Individual is one chromosome with its cached objective value. The GA
+// minimizes Fit.
+type Individual struct {
+	Bits  []byte  // one byte per bit, 0 or 1
+	Fit   float64 // objective value (valid only if Valid)
+	Valid bool
+}
+
+// Clone returns a deep copy.
+func (ind Individual) Clone() Individual {
+	b := make([]byte, len(ind.Bits))
+	copy(b, ind.Bits)
+	return Individual{Bits: b, Fit: ind.Fit, Valid: ind.Valid}
+}
+
+// Deme is one subpopulation evolving under a Params setting. All
+// randomness comes from the supplied rng, so demes are deterministic.
+type Deme struct {
+	Fn  *functions.Function
+	Par Params
+	rng *rand.Rand
+
+	pop     []Individual
+	gen     int64
+	worstW  []float64 // worst raw objective of the last W generations
+	best    Individual
+	bestSet bool
+
+	evals int64 // total objective evaluations computed (cache misses)
+}
+
+// NewDeme creates a deme of Par.N random individuals.
+func NewDeme(fn *functions.Function, par Params, rng *rand.Rand) *Deme {
+	if par.N < 2 {
+		panic("ga: population must have at least 2 individuals")
+	}
+	d := &Deme{Fn: fn, Par: par, rng: rng}
+	d.pop = make([]Individual, par.N)
+	for i := range d.pop {
+		bits := make([]byte, fn.TotalBits())
+		for b := range bits {
+			bits[b] = byte(rng.Intn(2))
+		}
+		d.pop[i] = Individual{Bits: bits}
+	}
+	return d
+}
+
+// Gen returns the number of completed generations.
+func (d *Deme) Gen() int64 { return d.gen }
+
+// Evals returns the cumulative number of objective evaluations actually
+// computed (fitness-cache misses).
+func (d *Deme) Evals() int64 { return d.evals }
+
+// Size returns the deme population size.
+func (d *Deme) Size() int { return len(d.pop) }
+
+// EvaluateAll computes objective values for individuals whose cache is
+// invalid and returns how many evaluations that took. This is the
+// paper's "software caching technique to reduce the recomputation of
+// fitness values of surviving individuals" [19]: clones that passed
+// through selection without crossover or mutation keep their value.
+func (d *Deme) EvaluateAll() int {
+	n := 0
+	for i := range d.pop {
+		if !d.pop[i].Valid {
+			if d.Par.Gray {
+				d.pop[i].Fit = d.Fn.EvalBitsGray(d.pop[i].Bits, d.rng)
+			} else {
+				d.pop[i].Fit = d.Fn.EvalBits(d.pop[i].Bits, d.rng)
+			}
+			d.pop[i].Valid = true
+			n++
+		}
+	}
+	d.evals += int64(n)
+	d.trackBest()
+	d.pushWorst()
+	return n
+}
+
+func (d *Deme) trackBest() {
+	for i := range d.pop {
+		if !d.bestSet || d.pop[i].Fit < d.best.Fit {
+			d.best = d.pop[i].Clone()
+			d.bestSet = true
+		}
+	}
+}
+
+func (d *Deme) pushWorst() {
+	worst := d.pop[0].Fit
+	for i := range d.pop {
+		if d.pop[i].Fit > worst {
+			worst = d.pop[i].Fit
+		}
+	}
+	d.worstW = append(d.worstW, worst)
+	w := d.Par.W
+	if w < 1 {
+		w = 1
+	}
+	if len(d.worstW) > w {
+		d.worstW = d.worstW[len(d.worstW)-w:]
+	}
+}
+
+// Best returns a copy of the best individual found so far. EvaluateAll
+// must have run at least once.
+func (d *Deme) Best() Individual {
+	if !d.bestSet {
+		panic("ga: Best before EvaluateAll")
+	}
+	return d.best.Clone()
+}
+
+// CurrentBest returns the best objective value in the *current*
+// population (as opposed to Best, the best ever seen). Convergence
+// checks use this: "the subpopulation converged further" (§5.1.1) is a
+// property of the population, not of history.
+func (d *Deme) CurrentBest() float64 {
+	best := math.Inf(1)
+	for i := range d.pop {
+		if d.pop[i].Valid && d.pop[i].Fit < best {
+			best = d.pop[i].Fit
+		}
+	}
+	return best
+}
+
+// AvgFit returns the population's mean objective value (current,
+// evaluated members only).
+func (d *Deme) AvgFit() float64 {
+	s, n := 0.0, 0
+	for i := range d.pop {
+		if d.pop[i].Valid {
+			s += d.pop[i].Fit
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// scaledFitness converts the minimization objective into selection
+// weights using DeJong's scaling-window rule: weight = baseline - f,
+// where baseline is the worst raw objective seen in the last W
+// generations.
+func (d *Deme) scaledFitness() []float64 {
+	baseline := d.worstW[0]
+	for _, w := range d.worstW {
+		if w > baseline {
+			baseline = w
+		}
+	}
+	ws := make([]float64, len(d.pop))
+	for i := range d.pop {
+		w := baseline - d.pop[i].Fit
+		if w < 0 {
+			w = 0
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// rouletteIndex draws one population index proportionally to weights
+// (uniform if all weights are zero).
+func rouletteIndex(weights []float64, total float64, rng *rand.Rand) int {
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// NextGeneration applies roulette selection (on scaled fitness),
+// single-point crossover with probability C, per-bit mutation with
+// probability M, and elitism, replacing the population. G<1 keeps a
+// (1-G) fraction of the old population untouched.
+func (d *Deme) NextGeneration() {
+	weights := d.scaledFitness()
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+
+	n := len(d.pop)
+	replace := n
+	if d.Par.G < 1 {
+		replace = int(d.Par.G * float64(n))
+		if replace < 2 {
+			replace = 2
+		}
+	}
+	next := make([]Individual, 0, n)
+	// Survivors (generation gap < 1): keep the best of the old
+	// population beyond the replaced fraction.
+	if replace < n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return d.pop[idx[a]].Fit < d.pop[idx[b]].Fit })
+		for _, i := range idx[:n-replace] {
+			next = append(next, d.pop[i].Clone())
+		}
+	}
+
+	for len(next) < n {
+		p1 := d.pop[rouletteIndex(weights, total, d.rng)]
+		p2 := d.pop[rouletteIndex(weights, total, d.rng)]
+		c1, c2 := p1.Clone(), p2.Clone()
+		if d.rng.Float64() < d.Par.C {
+			crossover(&c1, &c2, d.rng)
+		}
+		d.mutate(&c1)
+		d.mutate(&c2)
+		next = append(next, c1)
+		if len(next) < n {
+			next = append(next, c2)
+		}
+	}
+
+	if d.Par.Elitist && d.bestSet {
+		// The best-so-far individual replaces a random slot unchanged.
+		next[d.rng.Intn(n)] = d.best.Clone()
+	}
+	d.pop = next
+	d.gen++
+}
+
+// crossover applies single-point crossover in place, invalidating both
+// children's cached fitness.
+func crossover(a, b *Individual, rng *rand.Rand) {
+	if len(a.Bits) != len(b.Bits) {
+		panic("ga: crossover length mismatch")
+	}
+	if len(a.Bits) < 2 {
+		return
+	}
+	point := 1 + rng.Intn(len(a.Bits)-1)
+	for i := point; i < len(a.Bits); i++ {
+		a.Bits[i], b.Bits[i] = b.Bits[i], a.Bits[i]
+	}
+	a.Valid = false
+	b.Valid = false
+}
+
+// mutate flips each bit with probability M, invalidating the cache when
+// any bit flips.
+func (d *Deme) mutate(ind *Individual) {
+	for i := range ind.Bits {
+		if d.rng.Float64() < d.Par.M {
+			ind.Bits[i] ^= 1
+			ind.Valid = false
+		}
+	}
+}
+
+// BestK returns copies of the k fittest current individuals, fittest
+// first. Individuals must be evaluated (call after EvaluateAll).
+func (d *Deme) BestK(k int) []Individual {
+	if k > len(d.pop) {
+		k = len(d.pop)
+	}
+	idx := make([]int, len(d.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d.pop[idx[a]].Fit < d.pop[idx[b]].Fit })
+	out := make([]Individual, 0, k)
+	for _, i := range idx[:k] {
+		out = append(out, d.pop[i].Clone())
+	}
+	return out
+}
+
+// ReplaceWorst installs migrants over the worst current individuals
+// (§4.2.1: "each processor then replaces the worst individuals in its
+// subpopulation with these migrants"). Migrants arrive with their
+// sender-computed fitness, so no re-evaluation is charged.
+func (d *Deme) ReplaceWorst(migrants []Individual) {
+	if len(migrants) == 0 {
+		return
+	}
+	if len(migrants) > len(d.pop) {
+		migrants = migrants[:len(d.pop)]
+	}
+	idx := make([]int, len(d.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Worst first.
+	sort.Slice(idx, func(a, b int) bool { return d.pop[idx[a]].Fit > d.pop[idx[b]].Fit })
+	for i, m := range migrants {
+		mc := m.Clone()
+		if len(mc.Bits) != d.Fn.TotalBits() {
+			panic(fmt.Sprintf("ga: migrant has %d bits, deme wants %d", len(mc.Bits), d.Fn.TotalBits()))
+		}
+		d.pop[idx[i]] = mc
+	}
+	d.trackBest()
+}
+
+// bestOfPool returns the k fittest individuals from a migrant pool,
+// fittest first (used when more migrants arrive than slots exist).
+func bestOfPool(pool []Individual, k int) []Individual {
+	c := make([]Individual, len(pool))
+	copy(c, pool)
+	sort.Slice(c, func(a, b int) bool { return c[a].Fit < c[b].Fit })
+	if k > len(c) {
+		k = len(c)
+	}
+	return c[:k]
+}

@@ -1,0 +1,356 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nscc/internal/ga/functions"
+)
+
+func testDeme(t *testing.T, fn *functions.Function, seed int64) *Deme {
+	t.Helper()
+	return NewDeme(fn, DeJongParams(), rand.New(rand.NewSource(seed)))
+}
+
+func TestDeJongParams(t *testing.T) {
+	p := DeJongParams()
+	if p.N != 50 || p.C != 0.6 || p.M != 0.001 || p.G != 1 || p.W != 1 || !p.Elitist {
+		t.Fatalf("DeJong params wrong: %+v", p)
+	}
+}
+
+func TestNewDemeShape(t *testing.T) {
+	d := testDeme(t, functions.F1, 1)
+	if d.Size() != 50 {
+		t.Fatalf("size %d", d.Size())
+	}
+	seen0, seen1 := false, false
+	for _, ind := range d.pop {
+		if len(ind.Bits) != functions.F1.TotalBits() {
+			t.Fatalf("chromosome length %d", len(ind.Bits))
+		}
+		for _, b := range ind.Bits {
+			switch b {
+			case 0:
+				seen0 = true
+			case 1:
+				seen1 = true
+			default:
+				t.Fatalf("bit %d", b)
+			}
+		}
+	}
+	if !seen0 || !seen1 {
+		t.Fatal("initial population is not random")
+	}
+}
+
+func TestTinyPopulationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("N=1 deme did not panic")
+		}
+	}()
+	par := DeJongParams()
+	par.N = 1
+	NewDeme(functions.F1, par, rand.New(rand.NewSource(1)))
+}
+
+func TestEvaluateAllCountsAndCaches(t *testing.T) {
+	d := testDeme(t, functions.F1, 2)
+	if n := d.EvaluateAll(); n != 50 {
+		t.Fatalf("first evaluation computed %d, want 50", n)
+	}
+	if n := d.EvaluateAll(); n != 0 {
+		t.Fatalf("re-evaluation computed %d, want 0 (cache)", n)
+	}
+	d.NextGeneration()
+	n := d.EvaluateAll()
+	if n == 0 || n > 50 {
+		t.Fatalf("after a generation, %d evals; want in (0,50]", n)
+	}
+	// With C=0.6 and tiny mutation, a noticeable fraction of children
+	// are untouched clones whose fitness survives — that's the paper's
+	// caching optimization.
+	saved := 0
+	dd := testDeme(t, functions.F1, 3)
+	dd.EvaluateAll()
+	for g := 0; g < 20; g++ {
+		dd.NextGeneration()
+		saved += dd.Size() - dd.EvaluateAll()
+	}
+	if saved < 20*dd.Size()/10 {
+		t.Fatalf("caching saved only %d of %d evaluations", saved, 20*dd.Size())
+	}
+}
+
+func TestBestBeforeEvaluatePanics(t *testing.T) {
+	d := testDeme(t, functions.F1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Best before EvaluateAll did not panic")
+		}
+	}()
+	d.Best()
+}
+
+func TestEvolutionImproves(t *testing.T) {
+	d := testDeme(t, functions.F1, 4)
+	d.EvaluateAll()
+	first := d.Best().Fit
+	for g := 0; g < 100; g++ {
+		d.NextGeneration()
+		d.EvaluateAll()
+	}
+	last := d.Best().Fit
+	if last >= first {
+		t.Fatalf("no improvement: %v -> %v", first, last)
+	}
+	if last > 1.0 {
+		t.Fatalf("F1 after 100 generations still at %v", last)
+	}
+}
+
+func TestElitismMonotone(t *testing.T) {
+	d := testDeme(t, functions.F6, 5)
+	d.EvaluateAll()
+	prev := d.Best().Fit
+	for g := 0; g < 50; g++ {
+		d.NextGeneration()
+		d.EvaluateAll()
+		cur := d.Best().Fit
+		if cur > prev+1e-12 {
+			t.Fatalf("best-so-far regressed at gen %d: %v -> %v", g, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestGenerationGapKeepsSurvivors(t *testing.T) {
+	par := DeJongParams()
+	par.G = 0.5
+	d := NewDeme(functions.F1, par, rand.New(rand.NewSource(6)))
+	d.EvaluateAll()
+	bestBefore := d.Best().Fit
+	d.NextGeneration()
+	// Half the population survives; the best survivor must be present
+	// with valid fitness equal or better than before.
+	surviving := 0
+	for _, ind := range d.pop {
+		if ind.Valid && ind.Fit <= bestBefore+1e-12 {
+			surviving++
+		}
+	}
+	if surviving == 0 {
+		t.Fatal("generation gap 0.5 kept no good survivors")
+	}
+}
+
+func TestCrossoverSwapsTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := Individual{Bits: []byte{0, 0, 0, 0, 0, 0, 0, 0}, Fit: 1, Valid: true}
+	b := Individual{Bits: []byte{1, 1, 1, 1, 1, 1, 1, 1}, Fit: 2, Valid: true}
+	crossover(&a, &b, rng)
+	if a.Valid || b.Valid {
+		t.Fatal("crossover did not invalidate fitness")
+	}
+	// Each child must be a prefix of one parent and suffix of the other.
+	point := 0
+	for i, bit := range a.Bits {
+		if bit == 1 {
+			point = i
+			break
+		}
+	}
+	if point == 0 {
+		t.Fatalf("crossover point at 0 or no swap: %v", a.Bits)
+	}
+	for i := range a.Bits {
+		wantA, wantB := byte(0), byte(1)
+		if i >= point {
+			wantA, wantB = 1, 0
+		}
+		if a.Bits[i] != wantA || b.Bits[i] != wantB {
+			t.Fatalf("not a single-point crossover: %v %v", a.Bits, b.Bits)
+		}
+	}
+}
+
+func TestMutationRateRoughly(t *testing.T) {
+	par := DeJongParams()
+	par.M = 0.05
+	d := NewDeme(functions.F4, par, rand.New(rand.NewSource(8)))
+	flips := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		ind := Individual{Bits: make([]byte, functions.F4.TotalBits()), Valid: true}
+		d.mutate(&ind)
+		for _, b := range ind.Bits {
+			if b == 1 {
+				flips++
+			}
+		}
+	}
+	total := trials * functions.F4.TotalBits()
+	rate := float64(flips) / float64(total)
+	if rate < 0.035 || rate > 0.065 {
+		t.Fatalf("observed mutation rate %v, want ~0.05", rate)
+	}
+}
+
+func TestBestKSortedAndCopies(t *testing.T) {
+	d := testDeme(t, functions.F1, 9)
+	d.EvaluateAll()
+	top := d.BestK(10)
+	if len(top) != 10 {
+		t.Fatalf("BestK returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Fit < top[i-1].Fit {
+			t.Fatal("BestK not sorted fittest-first")
+		}
+	}
+	// Mutating the copy must not touch the deme.
+	top[0].Bits[0] ^= 1
+	d2 := d.BestK(1)
+	if d2[0].Bits[0] == top[0].Bits[0] && d2[0].Fit == top[0].Fit {
+		// Could coincide; check against a direct clone instead.
+		t.Log("note: bit coincided after flip; verifying via fitness identity")
+	}
+	if d.BestK(100)[0].Fit != d2[0].Fit {
+		t.Fatal("BestK(k>N) should clamp and preserve order")
+	}
+}
+
+func TestReplaceWorst(t *testing.T) {
+	d := testDeme(t, functions.F1, 10)
+	d.EvaluateAll()
+	migrants := []Individual{{Bits: make([]byte, functions.F1.TotalBits()), Fit: -100, Valid: true}}
+	worstBefore := d.BestK(d.Size())[d.Size()-1].Fit
+	d.ReplaceWorst(migrants)
+	found := false
+	for _, ind := range d.pop {
+		if ind.Fit == -100 {
+			found = true
+		}
+		if ind.Fit == worstBefore {
+			t.Fatal("worst individual survived replacement")
+		}
+	}
+	if !found {
+		t.Fatal("migrant not installed")
+	}
+	if d.Best().Fit != -100 {
+		t.Fatal("ReplaceWorst did not refresh best-so-far")
+	}
+}
+
+func TestReplaceWorstEmptyAndOversized(t *testing.T) {
+	d := testDeme(t, functions.F1, 11)
+	d.EvaluateAll()
+	d.ReplaceWorst(nil) // no-op
+	many := make([]Individual, 100)
+	for i := range many {
+		many[i] = Individual{Bits: make([]byte, functions.F1.TotalBits()), Fit: 1, Valid: true}
+	}
+	d.ReplaceWorst(many) // clamped to population size
+	if d.Size() != 50 {
+		t.Fatalf("population size changed: %d", d.Size())
+	}
+}
+
+func TestReplaceWorstWrongLengthPanics(t *testing.T) {
+	d := testDeme(t, functions.F1, 12)
+	d.EvaluateAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-length migrant did not panic")
+		}
+	}()
+	d.ReplaceWorst([]Individual{{Bits: []byte{1}, Fit: 0, Valid: true}})
+}
+
+func TestBestOfPool(t *testing.T) {
+	pool := []Individual{{Fit: 3}, {Fit: 1}, {Fit: 2}}
+	top := bestOfPool(pool, 2)
+	if len(top) != 2 || top[0].Fit != 1 || top[1].Fit != 2 {
+		t.Fatalf("bestOfPool = %+v", top)
+	}
+	if got := bestOfPool(pool, 10); len(got) != 3 {
+		t.Fatal("bestOfPool should clamp k")
+	}
+	if pool[0].Fit != 3 {
+		t.Fatal("bestOfPool mutated input order")
+	}
+}
+
+func TestDemeDeterminism(t *testing.T) {
+	run := func(seed int64) float64 {
+		d := testDeme(t, functions.F6, seed)
+		d.EvaluateAll()
+		for g := 0; g < 30; g++ {
+			d.NextGeneration()
+			d.EvaluateAll()
+		}
+		return d.Best().Fit
+	}
+	if run(42) != run(42) {
+		t.Fatal("same seed diverged")
+	}
+	if run(42) == run(43) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+// Property: a generation step preserves population size and chromosome
+// lengths, and scaled weights are non-negative.
+func TestGenerationInvariants(t *testing.T) {
+	f := func(seed int64, fnRaw uint8) bool {
+		fn := functions.ByNo(int(fnRaw%8) + 1)
+		par := DeJongParams()
+		par.N = 20
+		d := NewDeme(fn, par, rand.New(rand.NewSource(seed)))
+		d.EvaluateAll()
+		for g := 0; g < 5; g++ {
+			for _, w := range d.scaledFitness() {
+				if w < 0 {
+					return false
+				}
+			}
+			d.NextGeneration()
+			d.EvaluateAll()
+			if d.Size() != 20 {
+				return false
+			}
+			for _, ind := range d.pop {
+				if len(ind.Bits) != fn.TotalBits() {
+					return false
+				}
+				for _, b := range ind.Bits {
+					if b > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrayDemeConverges(t *testing.T) {
+	par := DeJongParams()
+	par.Gray = true
+	d := NewDeme(functions.F1, par, rand.New(rand.NewSource(21)))
+	d.EvaluateAll()
+	for g := 0; g < 100; g++ {
+		d.NextGeneration()
+		d.EvaluateAll()
+	}
+	if best := d.Best().Fit; best > 1.0 {
+		t.Fatalf("gray-coded F1 after 100 generations still at %v", best)
+	}
+}

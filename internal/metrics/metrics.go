@@ -1,0 +1,216 @@
+// Package metrics implements the paper's measurement machinery: the
+// warp network-load metric of Heddaya–Park–Sinha (measured above PVM for
+// all messages, §4.3), plus the run statistics the evaluation reports
+// (means over repeated trials, 90 % confidence intervals for the
+// inference programs).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"nscc/internal/sim"
+)
+
+// Warp of a pair of consecutive messages from the same sender: the ratio
+// of the difference in their arrival times to the difference in their
+// sending times. Warp 1 means stable network load; warp >> 1 means load
+// is increasing.
+
+// WarpMeter accumulates warp samples per (receiver, sender) pair.
+type WarpMeter struct {
+	last map[[2]int][2]sim.Time // (dst,src) -> (sentAt, arrivedAt) of previous message
+	acc  Accumulator
+}
+
+// NewWarpMeter returns an empty meter.
+func NewWarpMeter() *WarpMeter {
+	return &WarpMeter{last: make(map[[2]int][2]sim.Time)}
+}
+
+// Observe records one message arrival. Call it for every message (e.g.
+// from pvm.Machine.ArrivalHook).
+func (w *WarpMeter) Observe(dst, src int, sentAt, arrivedAt sim.Time) {
+	key := [2]int{dst, src}
+	if prev, ok := w.last[key]; ok {
+		ds := sentAt.Sub(prev[0]).Seconds()
+		da := arrivedAt.Sub(prev[1]).Seconds()
+		if ds > 0 {
+			w.acc.Add(da / ds)
+		}
+	}
+	w.last[key] = [2]sim.Time{sentAt, arrivedAt}
+}
+
+// Samples reports how many warp values have been measured.
+func (w *WarpMeter) Samples() int { return w.acc.N() }
+
+// Mean reports the average warp (1 when no samples, i.e. a quiet,
+// stable network).
+func (w *WarpMeter) Mean() float64 {
+	if w.acc.N() == 0 {
+		return 1
+	}
+	return w.acc.Mean()
+}
+
+// Max reports the largest warp observed (1 when no samples).
+func (w *WarpMeter) Max() float64 {
+	if w.acc.N() == 0 {
+		return 1
+	}
+	return w.acc.Max()
+}
+
+// WarpSeries tracks warp over consecutive windows of virtual time, so
+// the onset of network instability is visible as a time series rather
+// than a single mean: a stable network hovers at 1 in every window; a
+// flooding sender drives later windows' warp upward.
+type WarpSeries struct {
+	meter  *WarpMeter
+	window sim.Duration
+	cur    int
+	accs   []Accumulator
+}
+
+// NewWarpSeries returns a series with the given window width.
+func NewWarpSeries(window sim.Duration) *WarpSeries {
+	if window <= 0 {
+		panic("metrics: warp window must be positive")
+	}
+	return &WarpSeries{meter: NewWarpMeter(), window: window}
+}
+
+// Observe records one message arrival (same contract as
+// WarpMeter.Observe); the sample lands in the window containing
+// arrivedAt.
+func (ws *WarpSeries) Observe(dst, src int, sentAt, arrivedAt sim.Time) {
+	key := [2]int{dst, src}
+	idx := int(int64(arrivedAt) / int64(ws.window))
+	for len(ws.accs) <= idx {
+		ws.accs = append(ws.accs, Accumulator{})
+	}
+	if prev, ok := ws.meter.last[key]; ok {
+		ds := sentAt.Sub(prev[0]).Seconds()
+		da := arrivedAt.Sub(prev[1]).Seconds()
+		if ds > 0 {
+			ws.accs[idx].Add(da / ds)
+		}
+	}
+	ws.meter.last[key] = [2]sim.Time{sentAt, arrivedAt}
+}
+
+// Windows returns the per-window mean warp (1 for empty windows).
+func (ws *WarpSeries) Windows() []float64 {
+	out := make([]float64, len(ws.accs))
+	for i := range ws.accs {
+		if ws.accs[i].N() == 0 {
+			out[i] = 1
+		} else {
+			out[i] = ws.accs[i].Mean()
+		}
+	}
+	return out
+}
+
+// Max returns the largest window mean (1 with no samples).
+func (ws *WarpSeries) Max() float64 {
+	max := 1.0
+	for _, w := range ws.Windows() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// Accumulator is a Welford-style running mean/variance with min/max.
+type Accumulator struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	everygiven bool
+}
+
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if !a.everygiven || x < a.min {
+		a.min = x
+	}
+	if !a.everygiven || x > a.max {
+		a.max = x
+	}
+	a.everygiven = true
+}
+
+// N returns the sample count.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance (0 with <2 samples).
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min and Max return the extremes (0 with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+func (a *Accumulator) Max() float64 { return a.max }
+
+// z90 is the two-sided 90 % normal quantile used by the paper's
+// inference stopping rule ("90% confidence intervals to a precision of
+// ±0.01").
+const z90 = 1.6449
+
+// CI90HalfWidth returns the half-width of the 90 % confidence interval
+// of the mean under a normal approximation. With fewer than 2 samples it
+// returns +Inf so stopping rules keep sampling.
+func (a *Accumulator) CI90HalfWidth() float64 {
+	if a.n < 2 {
+		return math.Inf(1)
+	}
+	return z90 * a.Std() / math.Sqrt(float64(a.n))
+}
+
+// ProportionCI90HalfWidth returns the 90 % half-width for an estimated
+// proportion p from n Bernoulli samples — the form logic sampling's
+// event-frequency estimates use.
+func ProportionCI90HalfWidth(p float64, n int) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return z90 * math.Sqrt(p*(1-p)/float64(n))
+}
+
+// Speedup returns serial/parallel, guarding against a zero denominator.
+func Speedup(serial, parallel sim.Duration) float64 {
+	if parallel <= 0 {
+		return 0
+	}
+	return serial.Seconds() / parallel.Seconds()
+}
+
+// Median returns the median of xs (0 for empty input). The input is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if len(c)%2 == 1 {
+		return c[len(c)/2]
+	}
+	return (c[len(c)/2-1] + c[len(c)/2]) / 2
+}

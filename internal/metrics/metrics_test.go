@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nscc/internal/sim"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got := a.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if got := a.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Var() != 0 || a.Std() != 0 || a.Mean() != 0 {
+		t.Fatal("empty accumulator should be all zeros")
+	}
+	if !math.IsInf(a.CI90HalfWidth(), 1) {
+		t.Fatal("CI of empty accumulator should be +Inf")
+	}
+	a.Add(-3)
+	if a.Min() != -3 || a.Max() != -3 {
+		t.Fatal("single negative sample min/max wrong")
+	}
+}
+
+func TestCI90ShrinksWithN(t *testing.T) {
+	var a Accumulator
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i % 2))
+	}
+	w10 := a.CI90HalfWidth()
+	for i := 0; i < 990; i++ {
+		a.Add(float64(i % 2))
+	}
+	w1000 := a.CI90HalfWidth()
+	if w1000 >= w10 {
+		t.Fatalf("CI did not shrink: %v -> %v", w10, w1000)
+	}
+	// Half-width for a fair coin with n=1000: 1.645*0.5/sqrt(1000) ~ 0.026.
+	if math.Abs(w1000-0.026) > 0.003 {
+		t.Fatalf("w1000 = %v, want ~0.026", w1000)
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	if !math.IsInf(ProportionCI90HalfWidth(0.5, 1), 1) {
+		t.Fatal("n=1 should give +Inf")
+	}
+	w := ProportionCI90HalfWidth(0.5, 6765)
+	// 1.645*sqrt(0.25/6765) ~ 0.01 — the paper's stopping precision.
+	if math.Abs(w-0.01) > 0.0005 {
+		t.Fatalf("half-width = %v, want ~0.01", w)
+	}
+	if ProportionCI90HalfWidth(0.1, 1000) >= ProportionCI90HalfWidth(0.5, 1000) {
+		t.Fatal("extreme proportions should have narrower CI")
+	}
+}
+
+func TestWarpStableNetwork(t *testing.T) {
+	w := NewWarpMeter()
+	// Constant delay: arrival spacing == send spacing -> warp 1.
+	for i := 0; i < 10; i++ {
+		at := sim.Time(i) * sim.Time(sim.Millisecond)
+		w.Observe(0, 1, at, at.Add(5*sim.Microsecond))
+	}
+	if w.Samples() != 9 {
+		t.Fatalf("samples = %d, want 9", w.Samples())
+	}
+	if math.Abs(w.Mean()-1) > 1e-9 || math.Abs(w.Max()-1) > 1e-9 {
+		t.Fatalf("stable network warp = mean %v max %v, want 1", w.Mean(), w.Max())
+	}
+}
+
+func TestWarpRisingLoad(t *testing.T) {
+	w := NewWarpMeter()
+	// Send every 1 ms; queuing delay grows 1 ms per message: arrival
+	// spacing 2 ms -> warp 2.
+	for i := 0; i < 10; i++ {
+		sent := sim.Time(i) * sim.Time(sim.Millisecond)
+		arr := sent.Add(sim.Duration(i+1) * sim.Millisecond)
+		w.Observe(0, 1, sent, arr)
+	}
+	if math.Abs(w.Mean()-2) > 1e-9 {
+		t.Fatalf("rising-load warp = %v, want 2", w.Mean())
+	}
+}
+
+func TestWarpPerPairTracking(t *testing.T) {
+	w := NewWarpMeter()
+	// Interleaved senders must not contaminate each other's deltas.
+	w.Observe(0, 1, 0, 10)
+	w.Observe(0, 2, 5, 1000)
+	w.Observe(0, 1, sim.Time(sim.Millisecond), sim.Time(sim.Millisecond).Add(10))
+	if w.Samples() != 1 {
+		t.Fatalf("samples = %d, want 1", w.Samples())
+	}
+	if math.Abs(w.Mean()-1) > 1e-9 {
+		t.Fatalf("warp = %v, want 1", w.Mean())
+	}
+}
+
+func TestWarpNoSamples(t *testing.T) {
+	w := NewWarpMeter()
+	if w.Mean() != 1 || w.Max() != 1 {
+		t.Fatal("empty meter should report warp 1 (stable)")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*sim.Second, 2*sim.Second); got != 5 {
+		t.Fatalf("Speedup = %v, want 5", got)
+	}
+	if Speedup(sim.Second, 0) != 0 {
+		t.Fatal("zero denominator should yield 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median should be 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	in := []float64{5, 1, 3}
+	Median(in)
+	if in[0] != 5 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+// Property: accumulator mean/var agree with the direct two-pass formulas.
+func TestAccumulatorMatchesTwoPass(t *testing.T) {
+	f := func(xsRaw []int16) bool {
+		if len(xsRaw) < 2 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, v := range xsRaw {
+			a.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(xsRaw))
+		var ss float64
+		for _, v := range xsRaw {
+			d := float64(v) - mean
+			ss += d * d
+		}
+		wantVar := ss / float64(len(xsRaw)-1)
+		scale := math.Max(1, math.Abs(wantVar))
+		return math.Abs(a.Mean()-mean) < 1e-9*math.Max(1, math.Abs(mean)) &&
+			math.Abs(a.Var()-wantVar) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarpSeriesWindows(t *testing.T) {
+	ws := NewWarpSeries(10 * sim.Millisecond)
+	// First window: stable (spacing preserved). Second window: doubling
+	// arrival spacing (warp 2).
+	for i := 0; i < 5; i++ {
+		sent := sim.Time(i) * sim.Time(sim.Millisecond)
+		ws.Observe(0, 1, sent, sent.Add(100*sim.Microsecond))
+	}
+	for i := 0; i < 5; i++ {
+		sent := sim.Time(12+i) * sim.Time(sim.Millisecond)
+		arr := sim.Time(12 * sim.Millisecond).Add(sim.Duration(i) * 2 * sim.Millisecond)
+		ws.Observe(0, 1, sent, arr)
+	}
+	win := ws.Windows()
+	if len(win) < 2 {
+		t.Fatalf("windows = %v", win)
+	}
+	if math.Abs(win[0]-1) > 1e-9 {
+		t.Fatalf("stable window warp %v, want 1", win[0])
+	}
+	if ws.Max() < 1.5 {
+		t.Fatalf("unstable window never registered: %v (max %v)", win, ws.Max())
+	}
+}
+
+func TestWarpSeriesEmptyWindowsAreStable(t *testing.T) {
+	ws := NewWarpSeries(sim.Millisecond)
+	ws.Observe(0, 1, 0, sim.Time(10*sim.Millisecond))
+	ws.Observe(0, 1, sim.Time(sim.Millisecond), sim.Time(11*sim.Millisecond))
+	for i, w := range ws.Windows()[:10] {
+		if w != 1 {
+			t.Fatalf("empty window %d has warp %v", i, w)
+		}
+	}
+	if ws.Max() != 1 {
+		t.Fatalf("stable series max %v", ws.Max())
+	}
+}
+
+func TestWarpSeriesBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero window did not panic")
+		}
+	}()
+	NewWarpSeries(0)
+}

@@ -1,0 +1,52 @@
+package netsim
+
+import "nscc/internal/sim"
+
+// Loader reproduces the paper's network-loader program (§4.3, §5.2): a
+// pair of extra nodes that exchange traffic at a configured offered rate
+// to congest the shared medium while the benchmarks run.
+type Loader struct {
+	net     Fabric
+	src     int
+	sink    int
+	rateBps float64
+	msgSize int
+	sent    int64
+	stop    bool
+}
+
+// StartLoader attaches a source and a sink node to the network and
+// begins injecting msgSize-byte messages at rateBps (payload bits per
+// second) with ±10 % jitter. A rate of 0 attaches the nodes but injects
+// nothing. Stop the loader with Stop.
+func StartLoader(net Fabric, rateBps float64, msgSize int) *Loader {
+	if msgSize <= 0 {
+		msgSize = 1024
+	}
+	l := &Loader{net: net, rateBps: rateBps, msgSize: msgSize}
+	l.sink = net.Attach("loader-sink", func(int, interface{}, sim.Time) {})
+	l.src = net.Attach("loader-src", nil)
+	if rateBps > 0 {
+		net.Engine().Spawn("loader", l.run)
+	}
+	return l
+}
+
+func (l *Loader) run(p *sim.Proc) {
+	interval := sim.DurationOf(float64(l.msgSize) * 8 / l.rateBps)
+	for !l.stop {
+		l.net.Send(l.src, l.sink, l.msgSize, nil)
+		l.sent++
+		jitter := 0.9 + 0.2*p.Rng().Float64()
+		p.Sleep(sim.DurationOf(interval.Seconds() * jitter))
+	}
+}
+
+// Stop ends traffic injection after the message currently scheduled.
+func (l *Loader) Stop() { l.stop = true }
+
+// Sent reports the number of messages injected so far.
+func (l *Loader) Sent() int64 { return l.sent }
+
+// Rate returns the configured offered rate in bits per second.
+func (l *Loader) Rate() float64 { return l.rateBps }

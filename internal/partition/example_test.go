@@ -1,0 +1,28 @@
+package partition_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nscc/internal/partition"
+)
+
+// ExampleBisect splits two cliques joined by a bridge: the minimum cut
+// is the single bridge edge.
+func ExampleBisect() {
+	g := partition.NewGraph(8)
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.AddEdge(a, b)
+			g.AddEdge(4+a, 4+b)
+		}
+	}
+	g.AddEdge(0, 4) // the bridge
+
+	parts := partition.Bisect(g, rand.New(rand.NewSource(1)))
+	fmt.Println("cut:", partition.EdgeCut(g, parts))
+	fmt.Println("sizes:", partition.Sizes(parts, 2))
+	// Output:
+	// cut: 1
+	// sizes: [4 4]
+}

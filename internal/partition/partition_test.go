@@ -1,0 +1,225 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ladder builds a 2xN ladder graph: two paths with rungs. Its optimal
+// bisection cuts exactly 2 edges (one rail each) or 1 rung... the clean
+// property we test is that KL beats a random split decisively.
+func ladder(n int) *Graph {
+	g := NewGraph(2 * n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+		g.AddEdge(n+i, n+i+1)
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, n+i)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 2) // self-loop dropped
+	if g.N() != 4 || g.Edges() != 2 {
+		t.Fatalf("N=%d Edges=%d", g.N(), g.Edges())
+	}
+	if len(g.Neighbors(1)) != 2 {
+		t.Fatalf("neighbors of 1: %v", g.Neighbors(1))
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	g := NewGraph(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range edge did not panic")
+		}
+	}()
+	g.AddEdge(0, 5)
+}
+
+func TestEdgeCut(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 2)
+	if cut := EdgeCut(g, []int{0, 0, 1, 1}); cut != 1 {
+		t.Fatalf("cut = %d, want 1", cut)
+	}
+	if cut := EdgeCut(g, []int{0, 1, 0, 1}); cut != 3 {
+		t.Fatalf("cut = %d, want 3", cut)
+	}
+}
+
+func TestBisectBalanced(t *testing.T) {
+	g := ladder(10)
+	parts := Bisect(g, rand.New(rand.NewSource(1)))
+	s := Sizes(parts, 2)
+	if s[0] != 10 || s[1] != 10 {
+		t.Fatalf("unbalanced bisection: %v", s)
+	}
+}
+
+func TestBisectFindsGoodCut(t *testing.T) {
+	// Two 10-cliques joined by a single bridge: optimal cut is 1.
+	g := NewGraph(20)
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			g.AddEdge(a, b)
+			g.AddEdge(10+a, 10+b)
+		}
+	}
+	g.AddEdge(0, 10)
+	parts := Bisect(g, rand.New(rand.NewSource(2)))
+	if cut := EdgeCut(g, parts); cut != 1 {
+		t.Fatalf("cut = %d, want 1 (two cliques + bridge)", cut)
+	}
+}
+
+func TestBisectBeatsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGraph(54)
+	// Random graph at Table 2 density (~2.2 edges/node).
+	for e := 0; e < 119; e++ {
+		u, v := rng.Intn(54), rng.Intn(54)
+		for u == v {
+			v = rng.Intn(54)
+		}
+		g.AddEdge(u, v)
+	}
+	parts := Bisect(g, rng)
+	klCut := EdgeCut(g, parts)
+	randCut := 0
+	random := make([]int, 54)
+	for i := range random {
+		random[i] = i % 2
+	}
+	randCut = EdgeCut(g, random)
+	if klCut >= randCut {
+		t.Fatalf("KL cut %d is no better than alternating split %d", klCut, randCut)
+	}
+	// Table 2's randomly generated 54-node nets have 2-way cuts of
+	// 24-30; our partitioner should be in that ballpark or better.
+	if klCut > 40 {
+		t.Fatalf("KL cut %d is far above Table 2 scale", klCut)
+	}
+}
+
+func TestBisectDisconnected(t *testing.T) {
+	g := NewGraph(6) // no edges at all
+	parts := Bisect(g, rand.New(rand.NewSource(4)))
+	s := Sizes(parts, 2)
+	if s[0] != 3 || s[1] != 3 {
+		t.Fatalf("disconnected graph split %v", s)
+	}
+}
+
+func TestBisectEmptyGraph(t *testing.T) {
+	if parts := Bisect(NewGraph(0), rand.New(rand.NewSource(1))); parts != nil {
+		t.Fatalf("empty graph should give nil, got %v", parts)
+	}
+}
+
+func TestKWay(t *testing.T) {
+	g := ladder(8)
+	parts := KWay(g, 4, rand.New(rand.NewSource(5)))
+	s := Sizes(parts, 4)
+	for p, c := range s {
+		if c != 4 {
+			t.Fatalf("part %d has %d nodes: %v", p, c, s)
+		}
+	}
+	if KWay(g, 1, rand.New(rand.NewSource(1)))[3] != 0 {
+		t.Fatal("k=1 must put everything in part 0")
+	}
+}
+
+func TestKWayInvalidK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	KWay(NewGraph(3), 0, rand.New(rand.NewSource(1)))
+}
+
+func TestTopoPrefixSplit(t *testing.T) {
+	parts := TopoPrefixSplit(10, 2, func(int) int { return 1 })
+	want := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Fatalf("parts = %v", parts)
+		}
+	}
+	// Weighted: node 0 is heavy; the first block should be just node 0.
+	parts = TopoPrefixSplit(5, 2, func(i int) int {
+		if i == 0 {
+			return 10
+		}
+		return 1
+	})
+	if parts[0] != 0 || parts[1] != 1 {
+		t.Fatalf("weighted split = %v", parts)
+	}
+}
+
+func TestTopoPrefixSplitMonotone(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw%8) + 1
+		parts := TopoPrefixSplit(n, k, func(int) int { return 1 })
+		prev := 0
+		for _, p := range parts {
+			if p < prev || p >= k {
+				return false
+			}
+			prev = p
+		}
+		// Balance within ceil(n/k).
+		s := Sizes(parts, k)
+		max := 0
+		for _, c := range s {
+			if c > max {
+				max = c
+			}
+		}
+		return max <= (n+k-1)/k+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bisection always balances within one node and never
+// produces an invalid label, on random graphs.
+func TestBisectProperty(t *testing.T) {
+	f := func(seed int64, nRaw, eRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		e := int(eRaw % 120)
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph(n)
+		for i := 0; i < e; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			g.AddEdge(u, v)
+		}
+		parts := Bisect(g, rng)
+		s := Sizes(parts, 2)
+		if s[0]+s[1] != n {
+			return false
+		}
+		diff := s[0] - s[1]
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package pvm provides the message-passing layer of the reproduction: a
+// PVM-3-flavoured library (task spawn, tagged typed messages, blocking
+// and non-blocking receive with wildcard matching, broadcast) running on
+// the simulated cluster. The paper ran its shared-memory veneer and the
+// Global_Read macros directly above PVM on the IBM SP2 (§4.1); package
+// core does the same above this package.
+package pvm
+
+import (
+	"fmt"
+
+	"nscc/internal/netsim"
+	"nscc/internal/sim"
+)
+
+// Any is the wildcard value for Recv/NRecv source and tag matching,
+// mirroring PVM's -1.
+const Any = -1
+
+// Message is a delivered message as seen by a receiving task.
+type Message struct {
+	Src       int         // sending task id
+	Tag       int         // message tag
+	Data      interface{} // payload (shared by reference: senders must not mutate)
+	Size      int         // payload size in bytes, as charged to the network
+	SentAt    sim.Time    // virtual time the send was issued
+	ArrivedAt sim.Time    // virtual time the frame left the network
+}
+
+// Config carries the software overheads of the messaging layer. These
+// model the user-space packing/unpacking and protocol costs that, on the
+// paper's platform, made Ethernet message latency "poorer than in
+// high-speed parallel computer interconnection networks".
+type Config struct {
+	SendOverhead sim.Duration // CPU time charged to the sender per message
+	RecvOverhead sim.Duration // fixed CPU time charged to the receiver per dequeued message
+	// RecvPerByte is the size-proportional unpacking cost (copy +
+	// byte-order conversion, pvm_upk*). On a flooded network this is
+	// what makes uncontrolled senders hurt everyone: every delivered
+	// copy costs its receiver real CPU time, so a flood steals the
+	// computation it was supposed to overlap.
+	RecvPerByte sim.Duration
+	// SendWindow bounds each task's frames in flight (queued or on the
+	// wire): a sender at the window blocks until the bus drains one.
+	// The default is 0 — unlimited — matching PVM semantics: pvm_send
+	// returns as soon as the message is buffered, and daemon buffers
+	// grow without bound, which is exactly how an uncontrolled
+	// asynchronous program floods the network (§1). A finite window
+	// models a transport with flow control (TCP-style backpressure) and
+	// is used by the ablation benchmarks: it is a *transport-level*
+	// remedy to compare against the paper's *program-level* Global_Read
+	// control.
+	SendWindow int
+}
+
+// DefaultConfig returns PVM-over-Ethernet-scale software overheads.
+func DefaultConfig() Config {
+	return Config{
+		SendOverhead: 400 * sim.Microsecond,
+		RecvOverhead: 200 * sim.Microsecond,
+		RecvPerByte:  400 * sim.Nanosecond,
+	}
+}
+
+// Machine is a set of communicating tasks on one simulated
+// interconnect (the shared-Ethernet bus or the crossbar switch).
+type Machine struct {
+	eng   *sim.Engine
+	net   netsim.Fabric
+	cfg   Config
+	tasks []*Task
+
+	// ArrivalHook, if set, observes every message at network arrival
+	// (before the receiving task dequeues it). The warp meter plugs in
+	// here, matching the paper's "measurements of warp were done above
+	// PVM, for all the messages".
+	ArrivalHook func(dst int, m *Message)
+}
+
+// NewMachine creates a machine on the given engine and fabric.
+func NewMachine(eng *sim.Engine, net netsim.Fabric, cfg Config) *Machine {
+	return &Machine{eng: eng, net: net, cfg: cfg}
+}
+
+// Engine returns the underlying simulation engine.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Network returns the underlying fabric.
+func (m *Machine) Network() netsim.Fabric { return m.net }
+
+// Tasks reports the number of spawned tasks.
+func (m *Machine) Tasks() int { return len(m.tasks) }
+
+// Task is a simulated PVM task: one process on one cluster node with a
+// private message queue.
+type Task struct {
+	m    *Machine
+	id   int // task id == index in m.tasks
+	node int // netsim node id
+	proc *sim.Proc
+
+	queue []*Message
+	wl    sim.WaitList
+
+	inflight int          // frames sent but not yet clear of the bus
+	sendWL   sim.WaitList // senders blocked on the send window
+
+	sent, received int64
+	stalls         int64 // sends that had to wait for the window
+}
+
+// Spawn creates a task running fn on a fresh cluster node. Task ids are
+// assigned densely from zero in spawn order.
+func (m *Machine) Spawn(name string, fn func(*Task)) *Task {
+	t := &Task{m: m, id: len(m.tasks)}
+	m.tasks = append(m.tasks, t)
+	t.node = m.net.Attach(name, func(src int, payload interface{}, sentAt sim.Time) {
+		msg := payload.(*Message)
+		msg.ArrivedAt = m.eng.Now()
+		if m.ArrivalHook != nil {
+			m.ArrivalHook(t.id, msg)
+		}
+		t.queue = append(t.queue, msg)
+		t.wl.WakeAll()
+	})
+	t.proc = m.eng.Spawn(name, func(p *sim.Proc) { fn(t) })
+	return t
+}
+
+// ID returns the task id.
+func (t *Task) ID() int { return t.id }
+
+// Proc returns the task's simulation process (for Sleep, Rng, Now).
+func (t *Task) Proc() *sim.Proc { return t.proc }
+
+// Now returns the current virtual time.
+func (t *Task) Now() sim.Time { return t.m.eng.Now() }
+
+// Compute charges d of CPU time to the task (advances its local clock).
+func (t *Task) Compute(d sim.Duration) { t.proc.Sleep(d) }
+
+// Send transmits data of the given payload size to task dst with tag.
+// The sender is charged the configured software overhead; transmission
+// and queuing happen asynchronously on the shared bus.
+func (t *Task) Send(dst, tag int, size int, data interface{}) {
+	t.SendWithCallback(dst, tag, size, data, nil)
+}
+
+// SendWithCallback is Send with an onWire callback fired when the frame
+// finishes transmission on the shared medium; DSM nodes use it to bound
+// their in-flight updates.
+func (t *Task) SendWithCallback(dst, tag int, size int, data interface{}, onWire func()) {
+	t.Multicast([]int{dst}, tag, size, data, onWire)
+}
+
+// Multicast delivers one frame to every task in dsts — PVM's pvm_mcast
+// over a shared Ethernet: the datagram occupies the medium once however
+// many receivers there are. The sender is charged one send overhead and
+// blocks while its send window is full (transport backpressure).
+func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire func()) {
+	nodes := make([]int, len(dsts))
+	for i, dst := range dsts {
+		if dst < 0 || dst >= len(t.m.tasks) {
+			panic(fmt.Sprintf("pvm: send to unknown task %d", dst))
+		}
+		nodes[i] = t.m.tasks[dst].node
+	}
+	t.proc.Sleep(t.m.cfg.SendOverhead)
+	if w := t.m.cfg.SendWindow; w > 0 && t.inflight >= w {
+		t.stalls++
+		for t.inflight >= w {
+			t.sendWL.Wait(t.proc)
+		}
+	}
+	t.inflight++
+	msg := &Message{Src: t.id, Tag: tag, Data: data, Size: size, SentAt: t.m.eng.Now()}
+	t.m.net.Multicast(t.node, nodes, size, msg, func() {
+		t.inflight--
+		t.sendWL.WakeOne()
+		if onWire != nil {
+			onWire()
+		}
+	})
+	t.sent++
+}
+
+// Bcast multicasts to every other task.
+func (t *Task) Bcast(tag int, size int, data interface{}) {
+	dsts := make([]int, 0, len(t.m.tasks)-1)
+	for _, other := range t.m.tasks {
+		if other.id != t.id {
+			dsts = append(dsts, other.id)
+		}
+	}
+	if len(dsts) > 0 {
+		t.Multicast(dsts, tag, size, data, nil)
+	}
+}
+
+// match reports whether msg matches a (src, tag) pattern with Any
+// wildcards.
+func match(msg *Message, src, tag int) bool {
+	return (src == Any || msg.Src == src) && (tag == Any || msg.Tag == tag)
+}
+
+// take removes and returns the first queued message matching (src, tag),
+// or nil.
+func (t *Task) take(src, tag int) *Message {
+	for i, msg := range t.queue {
+		if match(msg, src, tag) {
+			copy(t.queue[i:], t.queue[i+1:])
+			t.queue[len(t.queue)-1] = nil
+			t.queue = t.queue[:len(t.queue)-1]
+			return msg
+		}
+	}
+	return nil
+}
+
+// recvCost is the CPU cost of dequeuing and unpacking msg.
+func (t *Task) recvCost(msg *Message) sim.Duration {
+	return t.m.cfg.RecvOverhead + sim.Duration(msg.Size)*t.m.cfg.RecvPerByte
+}
+
+// Recv blocks until a message matching (src, tag) is available and
+// returns it, charging the receive overhead. Use Any for wildcards.
+func (t *Task) Recv(src, tag int) *Message {
+	for {
+		if msg := t.take(src, tag); msg != nil {
+			t.proc.Sleep(t.recvCost(msg))
+			t.received++
+			return msg
+		}
+		t.wl.Wait(t.proc)
+	}
+}
+
+// NRecv returns a matching message if one is already queued, else nil.
+// It never blocks; a successful receive still costs the overhead.
+func (t *Task) NRecv(src, tag int) *Message {
+	msg := t.take(src, tag)
+	if msg != nil {
+		t.proc.Sleep(t.recvCost(msg))
+		t.received++
+	}
+	return msg
+}
+
+// Probe reports whether a message matching (src, tag) is queued, without
+// removing it.
+func (t *Task) Probe(src, tag int) bool {
+	for _, msg := range t.queue {
+		if match(msg, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pending reports the number of queued (undelivered-to-app) messages.
+func (t *Task) Pending() int { return len(t.queue) }
+
+// Sent and Received report message counters for the task.
+func (t *Task) Sent() int64     { return t.sent }
+func (t *Task) Received() int64 { return t.received }
+
+// Stalls reports how many sends blocked on the send window
+// (backpressure events).
+func (t *Task) Stalls() int64 { return t.stalls }

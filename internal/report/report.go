@@ -1,0 +1,95 @@
+// Package report renders small terminal visualizations for the
+// experiment tools: sparklines for time series (warp instability
+// onset), horizontal bar charts for speedup comparisons. No external
+// dependencies; output is plain UTF-8 suited to the CLI tools' stdout.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs a sparkline quantizes into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-height block-glyph strip, scaled
+// between lo and hi (values outside clamp). Empty input yields "".
+func Sparkline(values []float64, lo, hi float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for _, v := range values {
+		f := (v - lo) / (hi - lo)
+		if math.IsNaN(f) || f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		idx := int(f * float64(len(sparkLevels)-1))
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// AutoSparkline scales the sparkline to the series' own min/max.
+func AutoSparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return Sparkline(values, lo, hi)
+}
+
+// Bar is one row of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to the maximum value, width
+// cells wide, with the numeric value appended. Labels are aligned.
+func BarChart(bars []Bar, width int) string {
+	if len(bars) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = 40
+	}
+	maxLabel, maxVal := 0, 0.0
+	for _, b := range bars {
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var out strings.Builder
+	for _, b := range bars {
+		n := int(b.Value / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&out, "%-*s %s%s %.2f\n",
+			maxLabel, b.Label,
+			strings.Repeat("█", n), strings.Repeat(" ", width-n), b.Value)
+	}
+	return out.String()
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil, 0, 1) != "" {
+		t.Fatal("empty input should give empty string")
+	}
+	s := Sparkline([]float64{0, 0.5, 1}, 0, 1)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("length %d", len([]rune(s)))
+	}
+	rs := []rune(s)
+	if rs[0] != '▁' || rs[2] != '█' {
+		t.Fatalf("endpoints wrong: %q", s)
+	}
+}
+
+func TestSparklineClamps(t *testing.T) {
+	s := []rune(Sparkline([]float64{-5, 10}, 0, 1))
+	if s[0] != '▁' || s[1] != '█' {
+		t.Fatalf("out-of-range values not clamped: %q", string(s))
+	}
+	// Degenerate range must not divide by zero.
+	if Sparkline([]float64{3, 3}, 3, 3) == "" {
+		t.Fatal("degenerate range produced nothing")
+	}
+}
+
+func TestAutoSparkline(t *testing.T) {
+	s := []rune(AutoSparkline([]float64{1, 2, 3}))
+	if s[0] != '▁' || s[2] != '█' {
+		t.Fatalf("auto scaling wrong: %q", string(s))
+	}
+	if AutoSparkline(nil) != "" {
+		t.Fatal("empty auto sparkline")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]Bar{{"sync", 1}, {"gr(10)", 2}}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "1.00") || !strings.Contains(lines[1], "2.00") {
+		t.Fatalf("values missing: %v", lines)
+	}
+	halfBars := strings.Count(lines[0], "█")
+	if halfBars != 5 {
+		t.Fatalf("half-value bar has %d cells, want 5", halfBars)
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	if BarChart(nil, 10) != "" {
+		t.Fatal("empty chart should be empty")
+	}
+	out := BarChart([]Bar{{"zero", 0}}, 0)
+	if !strings.Contains(out, "zero") {
+		t.Fatalf("zero-value chart broken: %q", out)
+	}
+}

@@ -1,0 +1,140 @@
+// Package rollback implements the bookkeeping for the paper's
+// asynchronous logic sampling (§3.2), a variant of synchronization via
+// rollback [2]: a processor that needs a remote interface-node value it
+// has not received gambles on a default value and continues; when the
+// actual value arrives and differs from the value used, the iteration's
+// dependent computation must be invalidated and recomputed, and
+// corrections (antimessage + fresh value) cascade downstream.
+//
+// The Store tracks, per (remote node, iteration): the actual values
+// received, the values the local computation consumed (and whether each
+// was a gambled default), and the set of iterations dirtied by
+// conflicting or retracted values.
+package rollback
+
+import "sort"
+
+type key struct {
+	node int
+	iter int64
+}
+
+type usedRec struct {
+	state   int
+	gambled bool
+}
+
+// Stats counts the store's activity.
+type Stats struct {
+	Gambles   int64 // values consumed as defaults
+	Actuals   int64 // values consumed from received messages
+	Conflicts int64 // received values that contradicted a consumed value
+	Retracts  int64 // antimessages that invalidated a consumed value
+	Rollbacks int64 // iterations recomputed
+}
+
+// Store is one processor's remote-value and gamble ledger.
+type Store struct {
+	actual map[key]int
+	used   map[int64]map[int]usedRec
+	dirty  map[int64]bool
+	stats  Stats
+}
+
+// NewStore returns an empty ledger.
+func NewStore() *Store {
+	return &Store{
+		actual: make(map[key]int),
+		used:   make(map[int64]map[int]usedRec),
+		dirty:  make(map[int64]bool),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// PutActual records the received actual state of node at iter. If the
+// local computation already consumed a different value for that slot
+// (default gamble or since-retracted actual), the iteration is marked
+// dirty and true is returned.
+func (s *Store) PutActual(node int, iter int64, state int) bool {
+	s.actual[key{node, iter}] = state
+	if rec, ok := s.used[iter][node]; ok && rec.state != state {
+		s.stats.Conflicts++
+		s.dirty[iter] = true
+		return true
+	}
+	return false
+}
+
+// Retract processes an antimessage: the sender withdraws its previously
+// sent value of node at iter. If the local computation consumed that
+// value, the iteration is marked dirty and true is returned.
+func (s *Store) Retract(node int, iter int64) bool {
+	delete(s.actual, key{node, iter})
+	if _, ok := s.used[iter][node]; ok {
+		s.stats.Retracts++
+		s.dirty[iter] = true
+		return true
+	}
+	return false
+}
+
+// Consume returns the value the computation should use for node at
+// iter: the received actual if present, otherwise the supplied default
+// (a gamble). The consumed value is recorded so later arrivals can be
+// checked against it.
+func (s *Store) Consume(node int, iter int64, def int) (state int, gambled bool) {
+	if v, ok := s.actual[key{node, iter}]; ok {
+		state, gambled = v, false
+		s.stats.Actuals++
+	} else {
+		state, gambled = def, true
+		s.stats.Gambles++
+	}
+	m := s.used[iter]
+	if m == nil {
+		m = make(map[int]usedRec)
+		s.used[iter] = m
+	}
+	m[node] = usedRec{state, gambled}
+	return state, gambled
+}
+
+// Dirty returns the dirtied iterations in increasing order (rollbacks
+// must replay oldest-first so corrections cascade consistently).
+func (s *Store) Dirty() []int64 {
+	out := make([]int64, 0, len(s.dirty))
+	for it := range s.dirty {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasDirty reports whether any iteration awaits recomputation.
+func (s *Store) HasDirty() bool { return len(s.dirty) > 0 }
+
+// BeginRollback clears iter's consumed-value records and dirty flag and
+// counts the rollback; the caller then recomputes the iteration, during
+// which Consume re-records what the replay uses.
+func (s *Store) BeginRollback(iter int64) {
+	s.stats.Rollbacks++
+	delete(s.dirty, iter)
+	delete(s.used, iter)
+}
+
+// Prune discards actual/used records older than iter (exclusive) to
+// bound memory on long runs. Dirty iterations are never pruned.
+func (s *Store) Prune(iter int64) {
+	for k := range s.actual {
+		if k.iter < iter && !s.dirty[k.iter] {
+			delete(s.actual, k)
+		}
+	}
+	for it := range s.used {
+		if it < iter && !s.dirty[it] {
+			delete(s.used, it)
+		}
+	}
+}

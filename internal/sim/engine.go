@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Engine drives a discrete-event simulation. Events fire in virtual-time
+// order (FIFO among equal times); processes spawned on the engine run
+// cooperatively, one at a time, interleaved with event callbacks.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	seed   int64
+	procs  []*Proc
+	nlive  int // spawned but not yet finished processes
+
+	current *Proc // process currently executing, nil when the loop runs
+	running bool
+	stopReq bool
+}
+
+// Stop requests that the current Run/RunUntil return after the event
+// being processed. It is the clean way to end a run whose event queue
+// never drains (e.g. when a background traffic loader is active).
+func (e *Engine) Stop() { e.stopReq = true }
+
+// NewEngine returns an engine whose clock starts at zero. All randomness
+// used by processes derives from seed, so equal seeds give equal runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the engine's base random seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the
+// past is an error the engine reports by panicking: it indicates a
+// causality bug in the model, not a recoverable condition.
+func (e *Engine) Schedule(at Time, fn func()) EventHandle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventHandle{ev}
+}
+
+// After registers fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) EventHandle {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// ErrDeadlock is returned by Run when no events remain but live
+// processes are still blocked.
+var ErrDeadlock = errors.New("sim: deadlock: no events pending but processes are blocked")
+
+// Run executes events until none remain. It returns ErrDeadlock
+// (wrapped with the names of the stuck processes) if live processes are
+// still parked when the event queue drains, and nil otherwise.
+func (e *Engine) Run() error { return e.RunUntil(Forever) }
+
+// RunUntil executes events with timestamps <= deadline, then stops with
+// the clock advanced to the last fired event (or the deadline if any
+// later events remain pending). Deadlock is only reported when the whole
+// queue drained, i.e. when deadline is Forever.
+func (e *Engine) RunUntil(deadline Time) error {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.events.Len() > 0 {
+		if e.stopReq {
+			e.stopReq = false
+			return nil
+		}
+		if e.events[0].at > deadline {
+			e.now = deadline
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if deadline == Forever && e.nlive > 0 {
+		return fmt.Errorf("%w: %s", ErrDeadlock, e.stuckProcs())
+	}
+	return nil
+}
+
+func (e *Engine) stuckProcs() string {
+	s := ""
+	for _, p := range e.procs {
+		if !p.done {
+			if s != "" {
+				s += ", "
+			}
+			s += p.name
+		}
+	}
+	return s
+}
+
+// Live reports the number of spawned processes that have not finished.
+func (e *Engine) Live() int { return e.nlive }
+
+// NewRng derives a deterministic random stream from the engine seed and
+// the given tag. Processes use this internally (tagged by spawn index);
+// model components that need randomness outside any process (e.g. a
+// network's backoff jitter) should call it with a distinct tag.
+func (e *Engine) NewRng(tag int) *rand.Rand { return e.rngFor(tag) }
+
+// rngFor derives a per-process deterministic random stream.
+func (e *Engine) rngFor(id int) *rand.Rand {
+	// SplitMix64-style scramble so nearby ids give unrelated streams.
+	z := uint64(e.seed) + uint64(id+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}

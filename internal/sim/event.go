@@ -1,0 +1,47 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. Events with equal times fire in the
+// order they were scheduled (seq breaks ties), which keeps runs
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+// EventHandle allows a scheduled event to be canceled before it fires.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h EventHandle) Cancel() {
+	if h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

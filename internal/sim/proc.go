@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Proc is a cooperative simulated process. The function passed to Spawn
+// receives the Proc and may call its blocking methods (Sleep, and the
+// Wait methods of WaitList/Future/Barrier/Semaphore); each such call
+// parks the goroutine and hands control back to the engine until the
+// process is resumed at a later virtual time.
+//
+// Proc methods must only be called from within the process's own
+// function; the engine guarantees only one process runs at a time.
+type Proc struct {
+	eng  *Engine
+	id   int
+	name string
+	rng  *rand.Rand
+
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	pval   interface{} // value recovered from a panic inside the process
+	pstack bool        // whether pval is set
+}
+
+// Spawn creates a process named name running fn, starting at the current
+// virtual time. Processes spawned at the same instant start in spawn
+// order.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	p.rng = e.rngFor(p.id)
+	e.procs = append(e.procs, p)
+	e.nlive++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.pval = r
+				p.pstack = true
+			}
+			p.done = true
+			e.nlive--
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(e.now, func() { e.step(p) })
+	return p
+}
+
+// step transfers control to p until it parks or finishes, then returns
+// control to the engine loop. A panic inside the process is re-raised
+// here so it surfaces on the engine's Run call.
+func (e *Engine) step(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-p.yield
+	e.current = prev
+	if p.pstack {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.pval))
+	}
+}
+
+// park suspends the process until the engine resumes it.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules the process to resume at the current virtual time.
+func (p *Proc) wake() {
+	p.eng.Schedule(p.eng.now, func() { p.eng.step(p) })
+}
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// ID returns the process's spawn index, unique within its engine.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's name.
+func (p *Proc) Name() string { return p.name }
+
+// Rng returns the process's private deterministic random stream.
+func (p *Proc) Rng() *rand.Rand { return p.rng }
+
+// Sleep advances the process's local progress by d of virtual time.
+// Negative durations sleep zero time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.Schedule(p.eng.now.Add(d), func() { p.eng.step(p) })
+	p.park()
+}
+
+// SleepUntil parks the process until absolute time t (no-op if t is in
+// the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.eng.Schedule(t, func() { p.eng.step(p) })
+	p.park()
+}
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
