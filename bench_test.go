@@ -18,6 +18,7 @@ import (
 	"nscc/internal/ga/functions"
 	"nscc/internal/netsim"
 	"nscc/internal/partition"
+	"nscc/internal/trace"
 )
 
 // benchOpts is the reduced profile the benchmarks run at.
@@ -157,6 +158,36 @@ func gaBenchConfig(seed int64) ga.IslandConfig {
 		FixedGens: 80, MinGens: 80, MaxGens: 320, Target: 0.3,
 		Seed: seed, Calib: ga.DefaultCalibration(),
 	}
+}
+
+// BenchmarkTracerNil is the tracing-off baseline for the observability
+// layer: the same Global_Read GA run as BenchmarkTracerRecording, with
+// no tracer installed. The pair bounds the cost of the instrumentation;
+// the nil-tracer run must not be measurably slower than it was before
+// the trace layer existed (every emission site is one guarded branch).
+func BenchmarkTracerNil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ga.RunIsland(gaBenchConfig(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracerRecording runs the same configuration with a recording
+// tracer attached, reporting the event volume one run produces.
+func BenchmarkTracerRecording(b *testing.B) {
+	rec := trace.NewRecorder()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		cfg := gaBenchConfig(int64(i + 1))
+		cfg.Tracer = rec
+		if _, err := ga.RunIsland(cfg); err != nil {
+			b.Fatal(err)
+		}
+		events = rec.Len()
+	}
+	b.ReportMetric(float64(events), "events")
 }
 
 // BenchmarkAblationRequestRead compares the paper's blocking-wait

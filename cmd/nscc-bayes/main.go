@@ -12,6 +12,8 @@ import (
 	"nscc/internal/bayes"
 	"nscc/internal/core"
 	"nscc/internal/netsim"
+	"nscc/internal/trace"
+	"nscc/internal/traceio"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 		algo     = flag.String("algo", "ls", "serial baseline algorithm: ls (logic sampling) or lw (likelihood weighting)")
 		swFabric = flag.Bool("switch", false, "run on the SP2-style crossbar switch instead of the Ethernet")
 		batch    = flag.Int64("batch", 0, "update-batching depth (0 = mode default)")
+		trOut    = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
+		metOut   = flag.String("metrics-out", "", "write the run's telemetry JSON to this file")
 	)
 	flag.Parse()
 
@@ -87,6 +91,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	var rec *trace.Recorder
+	if *trOut != "" {
+		rec = trace.NewRecorder()
+		cfg.Tracer = rec
+	}
 	res, err := bayes.RunParallel(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -99,4 +108,18 @@ func main() {
 		res.EdgeCut, res.Gambles, res.Conflicts, res.Rollbacks, res.Replayed)
 	fmt.Printf("  messages=%d bytes=%d blocked=%d blocked-time=%v warp=%.2f\n",
 		res.Messages, res.NetBytes, res.Blocked, res.BlockedTime, res.WarpMean)
+	if err := traceio.WriteTrace(*trOut, rec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		fmt.Printf("wrote %s (%d events)\n", *trOut, rec.Len())
+	}
+	if err := traceio.WriteMetrics(*metOut, res.Telemetry); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *metOut != "" {
+		fmt.Printf("wrote %s\n", *metOut)
+	}
 }

@@ -19,6 +19,8 @@ import (
 
 	"nscc/internal/exper"
 	"nscc/internal/ga/functions"
+	"nscc/internal/trace"
+	"nscc/internal/traceio"
 )
 
 func main() {
@@ -32,6 +34,8 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override base seed")
 		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
 		useSw   = flag.Bool("switch", false, "run the GA experiments on the SP2-style crossbar switch")
+		trOut   = flag.String("trace-out", "", "run the instrumented demo instead of the suite and write its Chrome trace_event JSON here")
+		metOut  = flag.String("metrics-out", "", "run the instrumented demo instead of the suite and write its telemetry JSON here")
 	)
 	flag.Parse()
 
@@ -73,6 +77,38 @@ func main() {
 			}
 			fns = append(fns, functions.ByNo(no))
 		}
+	}
+
+	if *trOut != "" || *metOut != "" {
+		// Tracing a whole experiment suite would produce gigabytes, so
+		// the trace/metrics flags run the small instrumented demo
+		// (exper.TraceRun) instead of the selected experiments.
+		var rec *trace.Recorder
+		var tr trace.Tracer
+		if *trOut != "" {
+			rec = trace.NewRecorder()
+			tr = rec
+		}
+		tel, err := exper.TraceRun(os.Stdout, opts, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := traceio.WriteTrace(*trOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *trOut != "" {
+			fmt.Printf("wrote %s (%d events)\n", *trOut, rec.Len())
+		}
+		if err := traceio.WriteMetrics(*metOut, tel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *metOut != "" {
+			fmt.Printf("wrote %s\n", *metOut)
+		}
+		return
 	}
 
 	run := func(name string, f func() error) {

@@ -14,6 +14,8 @@ import (
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/netsim"
+	"nscc/internal/trace"
+	"nscc/internal/traceio"
 )
 
 func main() {
@@ -31,6 +33,8 @@ func main() {
 		interval = flag.Int64("interval", 1, "migrate every N generations")
 		swFabric = flag.Bool("switch", false, "run on the SP2-style crossbar switch instead of the Ethernet")
 		dynAge   = flag.Bool("dynage", false, "adapt the Global_Read age at run time")
+		trOut    = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
+		metOut   = flag.String("metrics-out", "", "write the run's telemetry JSON to this file")
 	)
 	flag.Parse()
 
@@ -89,6 +93,11 @@ func main() {
 		fmt.Printf("sync reference: time=%v avg=%.6g\n", syncRes.Completion, syncRes.Avg)
 	}
 
+	var rec *trace.Recorder
+	if *trOut != "" {
+		rec = trace.NewRecorder()
+		cfg.Tracer = rec
+	}
 	res, err := ga.RunIsland(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -101,4 +110,18 @@ func main() {
 		res.OptimumFound, res.ReachedTarget, res.Messages, res.NetBytes)
 	fmt.Printf("  blocked=%d blocked-time=%v queue-delay=%v warp=%.2f coalesced=%d\n",
 		res.Blocked, res.BlockedTime, res.QueueDelay, res.WarpMean, res.Coalesced)
+	if err := traceio.WriteTrace(*trOut, rec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		fmt.Printf("wrote %s (%d events)\n", *trOut, rec.Len())
+	}
+	if err := traceio.WriteMetrics(*metOut, res.Telemetry); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *metOut != "" {
+		fmt.Printf("wrote %s\n", *metOut)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"nscc/internal/pvm"
 	"nscc/internal/rollback"
 	"nscc/internal/sim"
+	"nscc/internal/trace"
 )
 
 // Message tags and sizes of the parallel sampler's own protocol.
@@ -84,6 +85,11 @@ type ParallelConfig struct {
 	// arbitrary fixed states (ablation: the paper derives defaults from
 	// the nodes' probability distributions so gambles usually pay off).
 	RandomDefaults bool
+
+	// Tracer, if set, receives the run's full event stream, including
+	// per-iteration app spans and rollback/antimessage instants. Nil
+	// keeps every hot path on its zero-cost branch.
+	Tracer trace.Tracer
 }
 
 // ParallelResult reports one parallel run.
@@ -111,6 +117,11 @@ type ParallelResult struct {
 	WarpWindows []float64 // per-100ms mean warp (instability time series)
 
 	EdgeCut int // dependency edges crossing partitions
+
+	// Telemetry is the machine-readable observability block: per-task
+	// message/coherence accounting, network aggregates, and the merged
+	// observed-staleness histogram.
+	Telemetry *metrics.Telemetry
 }
 
 // topology is the precomputed partition/communication structure shared
@@ -283,6 +294,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	}
 
 	eng := sim.NewEngine(cfg.Seed)
+	eng.SetTracer(cfg.Tracer)
 	var net netsim.Fabric
 	if cfg.SwitchCfg != nil {
 		net = netsim.NewSwitch(eng, *cfg.SwitchCfg)
@@ -319,6 +331,8 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 
 	res := ParallelResult{EdgeCut: topo.cut, HalfWidth: math.Inf(1)}
 	workers := make([]*worker, cfg.P)
+	coreStats := make([]core.Stats, cfg.P)
+	var staleHist metrics.Histogram
 	var exitMax sim.Duration
 	remaining := cfg.P
 
@@ -394,6 +408,8 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 				st := w.node.Stats()
 				res.BlockedTime += st.BlockedTime
 				res.Blocked += st.BlockedReads
+				coreStats[p] = st
+				staleHist.Merge(w.node.Staleness())
 				rs := w.store.Stats()
 				res.Rollbacks += rs.Rollbacks
 				res.Replayed += w.replayed
@@ -429,6 +445,26 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	res.WarpMean = warp.Mean()
 	res.WarpMax = warp.Max()
 	res.WarpWindows = warpSeries.Windows()
+
+	tasks := machine.TaskTelemetry()
+	for i := range tasks {
+		if i < len(coreStats) {
+			cs := coreStats[i]
+			tasks[i].GlobalReads = cs.GlobalReads
+			tasks[i].BlockedReads = cs.BlockedReads
+			tasks[i].BlockedSecs = cs.BlockedTime.Seconds()
+		}
+	}
+	res.Telemetry = &metrics.Telemetry{
+		Variant:        cfg.Mode.String(),
+		Age:            cfg.Age,
+		CompletionSecs: res.Completion.Seconds(),
+		Tasks:          tasks,
+		Net:            st.Telemetry(eng.Now().Sub(0)),
+		Staleness:      staleHist.Summary(),
+		WarpMean:       res.WarpMean,
+		WarpMax:        res.WarpMax,
+	}
 	return res, nil
 }
 
@@ -507,10 +543,16 @@ func (w *worker) run(onExit func(sim.Time)) {
 				w.node.Poll()
 			}
 			w.handleRollbacks()
+			iterStart := w.task.Now()
 			sample := w.sampleIter(t)
 			w.log = append(w.log, sample)
 			w.task.Compute(sim.DurationOf(
 				cfg.Calib.IterCost(len(w.owned)).Seconds() * w.jit.Next()))
+			if tr := w.task.Tracer(); tr != nil {
+				tr.Emit(trace.Event{TS: int64(iterStart), Dur: int64(w.task.Now().Sub(iterStart)),
+					Ph: trace.PhaseSpan, Pid: trace.PidApp, Tid: w.p, Cat: "bayes", Name: "iter",
+					K1: "iter", V1: t})
+			}
 			if t-w.batchFrom+1 >= w.batch {
 				w.flushBatch(t)
 			}
@@ -748,6 +790,11 @@ func (w *worker) handleRollbacks() {
 			}
 			if span := int64(len(w.log)) - d; span > 0 {
 				w.replayed += span
+				if tr := w.task.Tracer(); tr != nil {
+					tr.Emit(trace.Event{TS: int64(w.task.Now()), Ph: trace.PhaseInstant,
+						Pid: trace.PidApp, Tid: w.p, Cat: "bayes", Name: "rollback",
+						K1: "iter", V1: d, K2: "span", V2: span})
+				}
 				w.task.Compute(sim.DurationOf(
 					w.cfg.Calib.IterCost(len(w.owned)).Seconds() * float64(span)))
 			}
@@ -783,6 +830,11 @@ func (w *worker) handleRollbacks() {
 				}
 				if changed {
 					sz := bundleBytes(len(w.topo.iface[w.p][dst]), 1)
+					if tr := w.task.Tracer(); tr != nil {
+						tr.Emit(trace.Event{TS: int64(w.task.Now()), Ph: trace.PhaseInstant,
+							Pid: trace.PidApp, Tid: w.p, Cat: "bayes", Name: "anti",
+							K1: "iter", V1: d, K2: "dst", V2: int64(dst)})
+					}
 					w.node.WriteSized(w.topo.bundleLocs[w.p][dst], d, sz, w.makeAnti(dst))
 					w.node.WriteSized(w.topo.bundleLocs[w.p][dst], d, sz, w.makeBundle(dst, d, d))
 				}

@@ -23,8 +23,10 @@ package core
 import (
 	"fmt"
 
+	"nscc/internal/metrics"
 	"nscc/internal/pvm"
 	"nscc/internal/sim"
+	"nscc/internal/trace"
 )
 
 // Mode names the coherence discipline an application variant runs under.
@@ -123,9 +125,11 @@ type Options struct {
 	// kept for the ablation benchmark.
 	RequestRead bool
 	// Observer, if set, sees every received update message (fresh or
-	// stale) before the buffer decides whether to keep it. Applications
-	// that need the full update stream — e.g. per-iteration interface
-	// values in parallel logic sampling — hook in here.
+	// stale) before the buffer decides whether to keep it. It is an
+	// application-logic hook — parallel logic sampling consumes the full
+	// per-iteration interface stream through it. Pure observability does
+	// not belong here: set a trace.Tracer on the engine instead, and the
+	// node emits an "update" instant for the same stream.
 	Observer func(locID int, u Update)
 }
 
@@ -162,6 +166,7 @@ type Node struct {
 	inFlight int
 	outbox   []outboxEntry
 	stats    Stats
+	stale    metrics.Histogram // observed Global_Read staleness, log-bucketed
 }
 
 // NewNode attaches a DSM node to a PVM task. Every location the task
@@ -178,8 +183,23 @@ func NewNode(task *pvm.Task, opts Options) *Node {
 // Task returns the underlying PVM task.
 func (n *Node) Task() *pvm.Task { return n.task }
 
+// tracer returns the run's tracer — nil when tracing is off or the node
+// is detached from any task (as in buffer-level unit tests).
+func (n *Node) tracer() trace.Tracer {
+	if n.task == nil {
+		return nil
+	}
+	return n.task.Tracer()
+}
+
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats { return n.stats }
+
+// Staleness returns the node's histogram of observed Global_Read
+// staleness (curIter − returned Iter, clamped at zero). Its maximum
+// never exceeds the age bound the application passed, which is the
+// coherence guarantee in measurable form.
+func (n *Node) Staleness() *metrics.Histogram { return &n.stale }
 
 // Register declares a location to the node. Registering the same id
 // twice with a different location panics.
@@ -271,6 +291,11 @@ func (n *Node) apply(u *updateMsg) {
 	if n.opts.Observer != nil {
 		n.opts.Observer(u.Loc, Update{Value: u.Value, Iter: u.Iter, WrittenAt: u.WAt})
 	}
+	if tr := n.tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(n.task.Now()), Ph: trace.PhaseInstant,
+			Pid: trace.PidCore, Tid: n.task.ID(), Cat: "core", Name: "update",
+			K1: "loc", V1: int64(u.Loc), K2: "iter", V2: u.Iter})
+	}
 	cur, ok := n.buf[u.Loc]
 	if !ok || u.Iter > cur.Iter {
 		n.buf[u.Loc] = Update{Value: u.Value, Iter: u.Iter, WrittenAt: u.WAt}
@@ -334,10 +359,11 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 
 	u, ok := n.buf[loc.ID]
 	if ok && u.Iter >= minIter {
-		n.recordStaleness(curIter, u.Iter)
+		n.traceRead(n.task.Now(), 0, loc, n.recordStaleness(curIter, u.Iter))
 		return u
 	}
 	if !ok && minIter < 0 {
+		n.traceRead(n.task.Now(), 0, loc, -1)
 		return Update{Iter: NoValue}
 	}
 
@@ -352,14 +378,18 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 		m := n.task.Recv(pvm.Any, UpdateTag)
 		n.apply(m.Data.(*updateMsg))
 		if u, ok := n.buf[loc.ID]; ok && u.Iter >= minIter {
-			n.stats.BlockedTime += n.task.Now().Sub(start)
-			n.recordStaleness(curIter, u.Iter)
+			end := n.task.Now()
+			n.stats.BlockedTime += end.Sub(start)
+			n.traceRead(start, end.Sub(start), loc, n.recordStaleness(curIter, u.Iter))
 			return u
 		}
 	}
 }
 
-func (n *Node) recordStaleness(curIter, gotIter int64) {
+// recordStaleness accounts one Global_Read's observed staleness and
+// returns it (clamped at zero: the writer may be ahead of the reader's
+// notion of the current iteration).
+func (n *Node) recordStaleness(curIter, gotIter int64) int64 {
 	s := curIter - gotIter
 	if s < 0 {
 		s = 0
@@ -367,6 +397,20 @@ func (n *Node) recordStaleness(curIter, gotIter int64) {
 	n.stats.StaleSum += s
 	if s > n.stats.StaleMax {
 		n.stats.StaleMax = s
+	}
+	n.stale.Observe(s)
+	return s
+}
+
+// traceRead emits the Global_Read span: one 'X' record per call, with
+// TS at the call and Dur the time spent blocked (zero for an immediate
+// hit). stale is the observed staleness, or -1 when no value existed
+// yet (the NoValue early return).
+func (n *Node) traceRead(start sim.Time, d sim.Duration, loc *Location, stale int64) {
+	if tr := n.tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(start), Dur: int64(d), Ph: trace.PhaseSpan,
+			Pid: trace.PidCore, Tid: n.task.ID(), Cat: "core", Name: "global_read",
+			K1: "loc", V1: int64(loc.ID), K2: "stale", V2: stale})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"nscc/internal/netsim"
 	"nscc/internal/pvm"
 	"nscc/internal/sim"
+	"nscc/internal/trace"
 )
 
 // doneTag carries the "a subpopulation has converged past the target"
@@ -111,6 +112,11 @@ type IslandConfig struct {
 	LoaderBps float64
 	// PVM overrides the messaging overheads (nil = pvm.DefaultConfig()).
 	PVM *pvm.Config
+
+	// Tracer, if set, receives the run's full event stream (sim process
+	// lifecycle, network frames, messages, Global_Reads, per-generation
+	// app spans). Nil keeps every hot path on its zero-cost branch.
+	Tracer trace.Tracer
 }
 
 // IslandResult reports one parallel run.
@@ -132,6 +138,11 @@ type IslandResult struct {
 	BlockedTime sim.Duration // total Global_Read blocking across islands
 	Blocked     int64        // blocking Global_Read count
 	Coalesced   int64
+
+	// Telemetry is the machine-readable observability block: per-task
+	// message/coherence accounting, network aggregates, and the merged
+	// observed-staleness histogram.
+	Telemetry *metrics.Telemetry
 }
 
 // RunIsland executes one island-GA configuration on a fresh simulated
@@ -148,6 +159,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	}
 
 	eng := sim.NewEngine(cfg.Seed)
+	eng.SetTracer(cfg.Tracer)
 	var net netsim.Fabric
 	if cfg.Switch != nil {
 		net = netsim.NewSwitch(eng, *cfg.Switch)
@@ -219,6 +231,8 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 		ReachedTarget: cfg.Mode == core.Sync,
 	}
 	finalAvgs := make([]float64, cfg.P)
+	coreStats := make([]core.Stats, cfg.P)
+	var staleHist metrics.Histogram
 	var exitTimes []sim.Time
 	remaining := cfg.P
 
@@ -247,6 +261,8 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 				res.BlockedTime += st.BlockedTime
 				res.Blocked += st.BlockedReads
 				res.Coalesced += st.Coalesced
+				coreStats[i] = st
+				staleHist.Merge(node.Staleness())
 				exitTimes = append(exitTimes, task.Now())
 				remaining--
 				if remaining == 0 {
@@ -255,6 +271,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 			}
 
 			for gen := int64(0); ; gen++ {
+				genStart := task.Now()
 				evals := deme.EvaluateAll()
 				cost := cfg.Calib.GenCost(cfg.Fn, evals, deme.Size())
 				task.Compute(sim.DurationOf(cost.Seconds() * jit.Next()))
@@ -320,6 +337,13 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 					}
 				}
 
+				if tr := task.Tracer(); tr != nil {
+					// One span per generation's compute+migration work
+					// (barrier waiting, in Sync mode, stays outside it).
+					tr.Emit(trace.Event{TS: int64(genStart), Dur: int64(task.Now().Sub(genStart)),
+						Ph: trace.PhaseSpan, Pid: trace.PidApp, Tid: i, Cat: "ga", Name: "gen",
+						K1: "gen", V1: gen})
+				}
 				if cfg.Mode == core.Sync {
 					barrier.Wait(task)
 				}
@@ -349,5 +373,25 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	res.WarpMean = warp.Mean()
 	res.WarpMax = warp.Max()
 	res.WarpWindows = warpSeries.Windows()
+
+	tasks := machine.TaskTelemetry()
+	for i := range tasks {
+		if i < len(coreStats) {
+			cs := coreStats[i]
+			tasks[i].GlobalReads = cs.GlobalReads
+			tasks[i].BlockedReads = cs.BlockedReads
+			tasks[i].BlockedSecs = cs.BlockedTime.Seconds()
+		}
+	}
+	res.Telemetry = &metrics.Telemetry{
+		Variant:        cfg.Mode.String(),
+		Age:            cfg.Age,
+		CompletionSecs: res.Completion.Seconds(),
+		Tasks:          tasks,
+		Net:            st.Telemetry(eng.Now().Sub(0)),
+		Staleness:      staleHist.Summary(),
+		WarpMean:       res.WarpMean,
+		WarpMax:        res.WarpMax,
+	}
 	return res, nil
 }

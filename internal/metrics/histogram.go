@@ -1,0 +1,114 @@
+package metrics
+
+import "math/bits"
+
+// histBuckets is the fixed bucket count of Histogram. Bucket 0 holds
+// non-positive samples; bucket k (k >= 1) holds [2^(k-1), 2^k). 48
+// buckets cover every int64 the repository produces (staleness in
+// iterations, lags, byte counts).
+const histBuckets = 48
+
+// Histogram counts int64 samples in fixed log-scale (power-of-two)
+// buckets. The fixed layout makes histograms from different tasks or
+// trials mergeable bucket-by-bucket, which is what the per-run
+// staleness export needs: each DSM node observes its own reads and the
+// run merges them. The zero value is an empty, usable histogram.
+type Histogram struct {
+	counts [histBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+// histBucketOf returns the bucket index for v.
+func histBucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // v in [2^(b-1), 2^b)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe folds one sample into the histogram.
+func (h *Histogram) Observe(v int64) {
+	h.counts[histBucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Max returns the largest observed sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge folds o's samples into h. Histograms share a fixed bucket
+// layout, so the merge is exact.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// HistBucket is one non-empty bucket of a histogram: samples v with
+// Lo <= v <= Hi.
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in increasing order.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		b := HistBucket{Count: c}
+		if i > 0 {
+			b.Lo = int64(1) << (i - 1)
+			b.Hi = int64(1)<<i - 1
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// HistogramSummary is the JSON-friendly export of a histogram.
+type HistogramSummary struct {
+	N       int64        `json:"n"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Summary returns the histogram's machine-readable summary.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{N: h.n, Max: h.max, Mean: h.Mean(), Buckets: h.Buckets()}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import "testing"
+
+// TestHistogramBucketBoundaries pins the log-scale bucket layout:
+// bucket 0 = {v <= 0}, bucket k = [2^(k-1), 2^k).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		lo, hi int64
+	}{
+		{-3, 0, 0},
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 4, 7},
+		{7, 4, 7},
+		{8, 8, 15},
+		{1023, 512, 1023},
+		{1024, 1024, 2047},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		bs := h.Buckets()
+		if len(bs) != 1 {
+			t.Fatalf("Observe(%d): %d buckets, want 1", c.v, len(bs))
+		}
+		if bs[0].Lo != c.lo || bs[0].Hi != c.hi || bs[0].Count != 1 {
+			t.Errorf("Observe(%d): bucket [%d,%d]x%d, want [%d,%d]x1",
+				c.v, bs[0].Lo, bs[0].Hi, bs[0].Count, c.lo, c.hi)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 10} {
+		h.Observe(v)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d, want 5", h.N())
+	}
+	if h.Max() != 10 {
+		t.Errorf("Max = %d, want 10", h.Max())
+	}
+	if h.Sum() != 16 {
+		t.Errorf("Sum = %d, want 16", h.Sum())
+	}
+	if got := h.Mean(); got != 3.2 {
+		t.Errorf("Mean = %g, want 3.2", got)
+	}
+	// Buckets: {0}x1, {1}x1, {2,3}x2, {8..15}x1
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("buckets = %v, want 4 entries", bs)
+	}
+	if bs[2].Lo != 2 || bs[2].Hi != 3 || bs[2].Count != 2 {
+		t.Errorf("bucket[2] = %+v, want [2,3]x2", bs[2])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []int64{0, 1, 5} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{5, 9} {
+		b.Observe(v)
+	}
+	a.Merge(&b)
+	if a.N() != 5 {
+		t.Errorf("merged N = %d, want 5", a.N())
+	}
+	if a.Max() != 9 {
+		t.Errorf("merged Max = %d, want 9", a.Max())
+	}
+	if a.Sum() != 20 {
+		t.Errorf("merged Sum = %d, want 20", a.Sum())
+	}
+	// Bucket [4,7] should now count both fives.
+	for _, bk := range a.Buckets() {
+		if bk.Lo == 4 && bk.Count != 2 {
+			t.Errorf("bucket [4,7] count = %d, want 2", bk.Count)
+		}
+	}
+	a.Merge(nil) // no-op
+	if a.N() != 5 {
+		t.Errorf("Merge(nil) changed N")
+	}
+	// An empty zero-value histogram summarizes cleanly.
+	var empty Histogram
+	s := empty.Summary()
+	if s.N != 0 || s.Max != 0 || s.Mean != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

@@ -31,15 +31,28 @@ func NewWarpMeter() *WarpMeter {
 // Observe records one message arrival. Call it for every message (e.g.
 // from pvm.Machine.ArrivalHook).
 func (w *WarpMeter) Observe(dst, src int, sentAt, arrivedAt sim.Time) {
-	key := [2]int{dst, src}
-	if prev, ok := w.last[key]; ok {
-		ds := sentAt.Sub(prev[0]).Seconds()
-		da := arrivedAt.Sub(prev[1]).Seconds()
-		if ds > 0 {
-			w.acc.Add(da / ds)
-		}
+	if s, ok := w.observe(dst, src, sentAt, arrivedAt); ok {
+		w.acc.Add(s)
 	}
+}
+
+// observe pairs the arrival with the previous message of the same
+// (receiver, sender) stream and returns the warp sample, if the pair
+// yields one. It is the single copy of the pairing logic; WarpMeter and
+// WarpSeries both build on it.
+func (w *WarpMeter) observe(dst, src int, sentAt, arrivedAt sim.Time) (float64, bool) {
+	key := [2]int{dst, src}
+	prev, ok := w.last[key]
 	w.last[key] = [2]sim.Time{sentAt, arrivedAt}
+	if !ok {
+		return 0, false
+	}
+	ds := sentAt.Sub(prev[0]).Seconds()
+	if ds <= 0 {
+		return 0, false
+	}
+	da := arrivedAt.Sub(prev[1]).Seconds()
+	return da / ds, true
 }
 
 // Samples reports how many warp values have been measured.
@@ -83,21 +96,16 @@ func NewWarpSeries(window sim.Duration) *WarpSeries {
 
 // Observe records one message arrival (same contract as
 // WarpMeter.Observe); the sample lands in the window containing
-// arrivedAt.
+// arrivedAt. The pairing logic is delegated to the embedded meter so it
+// cannot drift from WarpMeter's.
 func (ws *WarpSeries) Observe(dst, src int, sentAt, arrivedAt sim.Time) {
-	key := [2]int{dst, src}
 	idx := int(int64(arrivedAt) / int64(ws.window))
 	for len(ws.accs) <= idx {
 		ws.accs = append(ws.accs, Accumulator{})
 	}
-	if prev, ok := ws.meter.last[key]; ok {
-		ds := sentAt.Sub(prev[0]).Seconds()
-		da := arrivedAt.Sub(prev[1]).Seconds()
-		if ds > 0 {
-			ws.accs[idx].Add(da / ds)
-		}
+	if s, ok := ws.meter.observe(dst, src, sentAt, arrivedAt); ok {
+		ws.accs[idx].Add(s)
 	}
-	ws.meter.last[key] = [2]sim.Time{sentAt, arrivedAt}
 }
 
 // Windows returns the per-window mean warp (1 for empty windows).

@@ -1,0 +1,67 @@
+package metrics
+
+import "nscc/internal/sim"
+
+// TaskTelemetry is one task's time and traffic accounting for a run:
+// the message-layer counters (messages and bytes in each direction, the
+// receive-overhead CPU the unpacking charged, send-window stalls)
+// merged with the coherence-layer counters (Global_Read calls, blocks,
+// blocked time). Durations are exported as float seconds so the JSON is
+// directly plottable.
+type TaskTelemetry struct {
+	Task int    `json:"task"`
+	Name string `json:"name"`
+
+	MsgsSent    int64   `json:"msgs_sent"`
+	MsgsRecv    int64   `json:"msgs_recv"`
+	BytesSent   int64   `json:"bytes_sent"`
+	BytesRecv   int64   `json:"bytes_recv"`
+	RecvCPUSecs float64 `json:"recv_cpu_secs"`
+	SendStalls  int64   `json:"send_stalls"`
+
+	GlobalReads  int64   `json:"global_reads"`
+	BlockedReads int64   `json:"blocked_reads"`
+	BlockedSecs  float64 `json:"blocked_secs"`
+}
+
+// NetTelemetry is the interconnect's aggregate accounting.
+type NetTelemetry struct {
+	Frames         int64   `json:"frames"`
+	Delivered      int64   `json:"delivered"`
+	Dropped        int64   `json:"dropped"`
+	Bytes          int64   `json:"bytes"`
+	BusySecs       float64 `json:"busy_secs"`
+	QueueDelaySecs float64 `json:"queue_delay_secs"`
+	MaxQueueLen    int     `json:"max_queue_len"`
+	Utilization    float64 `json:"utilization"`
+}
+
+// Telemetry is the structured, machine-readable observability block a
+// run result carries: per-task accounting, network aggregates, the
+// observed-staleness histogram of every Global_Read (the empirical
+// picture of the age bound), and the warp summary.
+type Telemetry struct {
+	Variant        string  `json:"variant"`
+	Age            int64   `json:"age"`
+	CompletionSecs float64 `json:"completion_secs"`
+
+	Tasks     []TaskTelemetry  `json:"tasks"`
+	Net       NetTelemetry     `json:"net"`
+	Staleness HistogramSummary `json:"staleness"`
+
+	WarpMean float64 `json:"warp_mean"`
+	WarpMax  float64 `json:"warp_max"`
+}
+
+// TotalBlockedSecs sums the per-task Global_Read blocked time.
+func (t *Telemetry) TotalBlockedSecs() float64 {
+	s := 0.0
+	for i := range t.Tasks {
+		s += t.Tasks[i].BlockedSecs
+	}
+	return s
+}
+
+// Secs converts a virtual duration to the float seconds the telemetry
+// exports.
+func Secs(d sim.Duration) float64 { return d.Seconds() }

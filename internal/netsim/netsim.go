@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"nscc/internal/metrics"
 	"nscc/internal/sim"
+	"nscc/internal/trace"
 )
 
 // Config describes the physical and protocol parameters of the network.
@@ -64,6 +66,21 @@ type Stats struct {
 	MaxQueueLen int          // peak number of frames waiting
 }
 
+// Telemetry converts the counters into the machine-readable export
+// block. elapsed is the run's virtual duration, used for utilization.
+func (s Stats) Telemetry(elapsed sim.Duration) metrics.NetTelemetry {
+	util := 0.0
+	if elapsed > 0 {
+		util = s.BusyTime.Seconds() / elapsed.Seconds()
+	}
+	return metrics.NetTelemetry{
+		Frames: s.Frames, Delivered: s.Delivered, Dropped: s.Dropped,
+		Bytes: s.Bytes, BusySecs: s.BusyTime.Seconds(),
+		QueueDelaySecs: s.QueueDelay.Seconds(), MaxQueueLen: s.MaxQueueLen,
+		Utilization: util,
+	}
+}
+
 // NodeStats counts one node's offered traffic (who floods the medium).
 type NodeStats struct {
 	Frames int64
@@ -82,6 +99,34 @@ type Network struct {
 	queued    int
 	stats     Stats
 	perNode   []NodeStats
+
+	// Windowed utilization accounting, maintained only while the
+	// engine's tracer is set: busy time is attributed to the window
+	// containing each frame's transmission start, and a "util_pct"
+	// counter record is emitted when a window closes.
+	winStart sim.Time
+	winBusy  sim.Duration
+}
+
+// utilWindow is the width of the traced utilization windows (matching
+// the warp series' 100 ms windows so the two series line up).
+const utilWindow = 100 * sim.Millisecond
+
+// traceFrame emits the bus's per-frame observability records: the
+// queue-depth counter, the closing of any elapsed utilization windows,
+// and the frame's own busy time. Called only with a non-nil tracer.
+func (n *Network) traceFrame(tr trace.Tracer, now, start sim.Time, tx sim.Duration) {
+	for now >= n.winStart.Add(utilWindow) {
+		pct := int64(100 * n.winBusy.Seconds() / utilWindow.Seconds())
+		tr.Emit(trace.Event{TS: int64(n.winStart.Add(utilWindow)), Ph: trace.PhaseCounter,
+			Pid: trace.PidNet, Cat: "net", Name: "bus_util", K1: "util_pct", V1: pct})
+		n.winStart = n.winStart.Add(utilWindow)
+		n.winBusy = 0
+	}
+	n.winBusy += tx
+	tr.Emit(trace.Event{TS: int64(now), Ph: trace.PhaseCounter,
+		Pid: trace.PidNet, Cat: "net", Name: "bus", K1: "queued", V1: int64(n.queued),
+		K2: "wait_us", V2: int64(start.Sub(now)) / 1000})
 }
 
 // New creates a network on eng with the given configuration.
@@ -180,6 +225,9 @@ func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, 
 	if n.queued > n.stats.MaxQueueLen {
 		n.stats.MaxQueueLen = n.queued
 	}
+	if tr := n.eng.Tracer(); tr != nil {
+		n.traceFrame(tr, now, start, tx)
+	}
 	if onWire != nil {
 		n.eng.Schedule(n.busFreeAt, onWire)
 	}
@@ -193,6 +241,11 @@ func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, 
 		for i, dst := range dsts {
 			if lost[i] {
 				n.stats.Dropped++
+				if tr := n.eng.Tracer(); tr != nil {
+					tr.Emit(trace.Event{TS: int64(n.eng.Now()), Ph: trace.PhaseInstant,
+						Pid: trace.PidNet, Tid: dst, Cat: "net", Name: "drop",
+						K1: "src", V1: int64(src), K2: "size", V2: int64(size)})
+				}
 				continue
 			}
 			n.stats.Delivered++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nscc/internal/sim"
+	"nscc/internal/trace"
 )
 
 // Fabric is the interconnect abstraction: the shared-Ethernet bus
@@ -124,6 +125,14 @@ func (s *Switch) Multicast(src int, dsts []int, size int, payload interface{}, o
 	start := now
 	if s.egressFreeAt[src] > start {
 		start = s.egressFreeAt[src]
+	}
+	if tr := s.eng.Tracer(); tr != nil {
+		// Per-sender egress backlog: how long this multicast waits for
+		// the node's own link (the switch's only queueing point).
+		tr.Emit(trace.Event{TS: int64(now), Ph: trace.PhaseCounter,
+			Pid: trace.PidNet, Tid: src, Cat: "net", Name: "egress",
+			K1: "backlog_us", V1: int64(start.Sub(now)) / 1000,
+			K2: "fanout", V2: int64(len(dsts))})
 	}
 	for _, dst := range dsts {
 		if dst < 0 || dst >= len(s.handlers) {

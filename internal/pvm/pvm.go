@@ -9,8 +9,10 @@ package pvm
 import (
 	"fmt"
 
+	"nscc/internal/metrics"
 	"nscc/internal/netsim"
 	"nscc/internal/sim"
+	"nscc/internal/trace"
 )
 
 // Any is the wildcard value for Recv/NRecv source and tag matching,
@@ -75,7 +77,18 @@ type Machine struct {
 	// here, matching the paper's "measurements of warp were done above
 	// PVM, for all the messages".
 	ArrivalHook func(dst int, m *Message)
+
+	// SendHook, if set, observes every message as the sender issues it —
+	// the symmetric partner of ArrivalHook. A multicast fires the hook
+	// once (one logical message); each delivery then fires ArrivalHook,
+	// so every arrival's *Message was previously seen by SendHook.
+	SendHook func(src int, m *Message)
 }
+
+// Tracer returns the tracer of the machine's engine (nil when tracing
+// is off). The engine owns the run's tracer; this accessor is the
+// message layer's guarded hot-path handle to it.
+func (m *Machine) Tracer() trace.Tracer { return m.eng.Tracer() }
 
 // NewMachine creates a machine on the given engine and fabric.
 func NewMachine(eng *sim.Engine, net netsim.Fabric, cfg Config) *Machine {
@@ -107,6 +120,46 @@ type Task struct {
 
 	sent, received int64
 	stalls         int64 // sends that had to wait for the window
+
+	bytesSent int64        // payload bytes charged to the network (once per frame)
+	bytesRecv int64        // payload bytes of messages the task dequeued
+	recvCPU   sim.Duration // receive-overhead CPU charged for unpacking
+}
+
+// TaskStats is a snapshot of one task's message-layer accounting.
+// BytesSent counts each multicast frame's payload once (the shared
+// medium carries it once however many receivers there are); BytesRecv
+// and RecvCPU accrue as the application dequeues messages.
+type TaskStats struct {
+	Sent, Received       int64
+	BytesSent, BytesRecv int64
+	RecvCPU              sim.Duration
+	Stalls               int64
+}
+
+// Stats returns a snapshot of the task's counters.
+func (t *Task) Stats() TaskStats {
+	return TaskStats{
+		Sent: t.sent, Received: t.received,
+		BytesSent: t.bytesSent, BytesRecv: t.bytesRecv,
+		RecvCPU: t.recvCPU, Stalls: t.stalls,
+	}
+}
+
+// TaskTelemetry returns the message-layer half of every task's
+// telemetry (the coherence layer merges its own counters on top).
+func (m *Machine) TaskTelemetry() []metrics.TaskTelemetry {
+	out := make([]metrics.TaskTelemetry, len(m.tasks))
+	for i, t := range m.tasks {
+		out[i] = metrics.TaskTelemetry{
+			Task: t.id, Name: t.proc.Name(),
+			MsgsSent: t.sent, MsgsRecv: t.received,
+			BytesSent: t.bytesSent, BytesRecv: t.bytesRecv,
+			RecvCPUSecs: t.recvCPU.Seconds(),
+			SendStalls:  t.stalls,
+		}
+	}
+	return out
 }
 
 // Spawn creates a task running fn on a fresh cluster node. Task ids are
@@ -120,6 +173,7 @@ func (m *Machine) Spawn(name string, fn func(*Task)) *Task {
 		if m.ArrivalHook != nil {
 			m.ArrivalHook(t.id, msg)
 		}
+		t.traceArrival(msg)
 		t.queue = append(t.queue, msg)
 		t.wl.WakeAll()
 	})
@@ -174,6 +228,8 @@ func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire
 	}
 	t.inflight++
 	msg := &Message{Src: t.id, Tag: tag, Data: data, Size: size, SentAt: t.m.eng.Now()}
+	t.bytesSent += int64(size)
+	t.traceSend(msg)
 	t.m.net.Multicast(t.node, nodes, size, msg, func() {
 		t.inflight--
 		t.sendWL.WakeOne()
@@ -222,13 +278,22 @@ func (t *Task) recvCost(msg *Message) sim.Duration {
 	return t.m.cfg.RecvOverhead + sim.Duration(msg.Size)*t.m.cfg.RecvPerByte
 }
 
+// charge accounts a dequeued message to the task: the unpacking CPU
+// time (advancing the task's clock) and the receive-side counters.
+func (t *Task) charge(msg *Message) {
+	cost := t.recvCost(msg)
+	t.proc.Sleep(cost)
+	t.received++
+	t.bytesRecv += int64(msg.Size)
+	t.recvCPU += cost
+}
+
 // Recv blocks until a message matching (src, tag) is available and
 // returns it, charging the receive overhead. Use Any for wildcards.
 func (t *Task) Recv(src, tag int) *Message {
 	for {
 		if msg := t.take(src, tag); msg != nil {
-			t.proc.Sleep(t.recvCost(msg))
-			t.received++
+			t.charge(msg)
 			return msg
 		}
 		t.wl.Wait(t.proc)
@@ -240,8 +305,7 @@ func (t *Task) Recv(src, tag int) *Message {
 func (t *Task) NRecv(src, tag int) *Message {
 	msg := t.take(src, tag)
 	if msg != nil {
-		t.proc.Sleep(t.recvCost(msg))
-		t.received++
+		t.charge(msg)
 	}
 	return msg
 }
@@ -267,3 +331,32 @@ func (t *Task) Received() int64 { return t.received }
 // Stalls reports how many sends blocked on the send window
 // (backpressure events).
 func (t *Task) Stalls() int64 { return t.stalls }
+
+// Tracer returns the run's tracer (nil when tracing is off).
+func (t *Task) Tracer() trace.Tracer { return t.m.eng.Tracer() }
+
+// traceSend records the send side of a message: the SendHook and a
+// "send" instant. With no hook and no tracer it costs two predictable
+// branches and allocates nothing — the guarantee the nil-tracer
+// benchmark pins down.
+func (t *Task) traceSend(msg *Message) {
+	if t.m.SendHook != nil {
+		t.m.SendHook(t.id, msg)
+	}
+	if tr := t.m.eng.Tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(msg.SentAt), Ph: trace.PhaseInstant,
+			Pid: trace.PidPVM, Tid: t.id, Cat: "pvm", Name: "send",
+			K1: "tag", V1: int64(msg.Tag), K2: "size", V2: int64(msg.Size)})
+	}
+}
+
+// traceArrival records the receive side: an 'X' span covering the
+// message's flight from send to network arrival, on the receiving
+// task's track.
+func (t *Task) traceArrival(msg *Message) {
+	if tr := t.m.eng.Tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(msg.SentAt), Dur: int64(msg.ArrivedAt.Sub(msg.SentAt)),
+			Ph: trace.PhaseSpan, Pid: trace.PidPVM, Tid: t.id, Cat: "pvm", Name: "msg",
+			K1: "src", V1: int64(msg.Src), K2: "size", V2: int64(msg.Size)})
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"nscc/internal/trace"
 )
 
 // Engine drives a discrete-event simulation. Events fire in virtual-time
@@ -23,7 +25,22 @@ type Engine struct {
 	current *Proc // process currently executing, nil when the loop runs
 	running bool
 	stopReq bool
+
+	// tracer, when non-nil, receives process start/stop/block/wake and
+	// event-fire records. Every emission site guards with a nil check,
+	// so the disabled path costs one predicted branch and no
+	// allocations.
+	tracer trace.Tracer
 }
+
+// SetTracer installs (or, with nil, removes) the engine's tracer. The
+// engine is the single owner of the run's tracer: the network, message,
+// coherence, and application layers all reach it through their engine
+// so one call instruments a whole simulated cluster.
+func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+
+// Tracer returns the engine's tracer (nil when tracing is off).
+func (e *Engine) Tracer() trace.Tracer { return e.tracer }
 
 // Stop requests that the current Run/RunUntil return after the event
 // being processed. It is the clean way to end a run whose event queue
@@ -100,6 +117,10 @@ func (e *Engine) RunUntil(deadline Time) error {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
+		if e.tracer != nil {
+			e.tracer.Emit(trace.Event{TS: int64(e.now), Ph: trace.PhaseInstant,
+				Pid: trace.PidSim, Cat: "sim", Name: "event", K1: "seq", V1: int64(ev.seq)})
+		}
 		ev.fn()
 	}
 	if deadline == Forever && e.nlive > 0 {

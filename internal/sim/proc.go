@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"nscc/internal/trace"
 )
 
 // Proc is a cooperative simulated process. The function passed to Spawn
@@ -40,6 +42,10 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 	p.rng = e.rngFor(p.id)
 	e.procs = append(e.procs, p)
 	e.nlive++
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{TS: int64(e.now), Ph: trace.PhaseInstant,
+			Pid: trace.PidSim, Tid: p.id, Cat: "sim", Name: "proc_start"})
+	}
 	go func() {
 		<-p.resume
 		defer func() {
@@ -69,6 +75,10 @@ func (e *Engine) step(p *Proc) {
 	p.resume <- struct{}{}
 	<-p.yield
 	e.current = prev
+	if p.done && e.tracer != nil {
+		e.tracer.Emit(trace.Event{TS: int64(e.now), Ph: trace.PhaseInstant,
+			Pid: trace.PidSim, Tid: p.id, Cat: "sim", Name: "proc_stop"})
+	}
 	if p.pstack {
 		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.pval))
 	}
@@ -81,7 +91,13 @@ func (p *Proc) park() {
 }
 
 // wake schedules the process to resume at the current virtual time.
+// It is called only by the WaitList wake paths, so the trace record is
+// exactly "a blocked process was released".
 func (p *Proc) wake() {
+	if t := p.eng.tracer; t != nil {
+		t.Emit(trace.Event{TS: int64(p.eng.now), Ph: trace.PhaseInstant,
+			Pid: trace.PidSim, Tid: p.id, Cat: "sim", Name: "wake"})
+	}
 	p.eng.Schedule(p.eng.now, func() { p.eng.step(p) })
 }
 

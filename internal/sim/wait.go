@@ -1,5 +1,7 @@
 package sim
 
+import "nscc/internal/trace"
+
 // WaitList is the engine's basic blocking primitive: a FIFO set of
 // parked processes that other code can wake. Mailboxes, futures,
 // barriers and the DSM's Global_Read blocking are all built on it.
@@ -9,6 +11,10 @@ type WaitList struct {
 
 // Wait parks p until another party calls WakeOne or WakeAll.
 func (w *WaitList) Wait(p *Proc) {
+	if t := p.eng.tracer; t != nil {
+		t.Emit(trace.Event{TS: int64(p.eng.now), Ph: trace.PhaseInstant,
+			Pid: trace.PidSim, Tid: p.id, Cat: "sim", Name: "block"})
+	}
 	w.waiters = append(w.waiters, p)
 	p.park()
 }

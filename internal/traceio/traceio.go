@@ -1,0 +1,39 @@
+// Package traceio writes the observability artifacts the commands
+// share: Chrome trace_event JSON files (loadable in Perfetto or
+// chrome://tracing) and indented JSON metrics summaries.
+package traceio
+
+import (
+	"encoding/json"
+	"os"
+
+	"nscc/internal/trace"
+)
+
+// WriteTrace writes rec's events as a Chrome trace_event JSON array to
+// path. No-op when path is empty or rec is nil.
+func WriteTrace(path string, rec *trace.Recorder) error {
+	if path == "" || rec == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteChromeTrace(f)
+}
+
+// WriteMetrics writes v as indented JSON to path. No-op when path is
+// empty.
+func WriteMetrics(path string, v interface{}) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,166 @@
+// Wiring tests for the unified trace layer: run real applications with
+// a recording tracer and check the cross-layer invariants the trace
+// must satisfy (balanced block/wake, monotone per-track timestamps,
+// blocked spans matching the coherence counters, staleness within the
+// age bound).
+package nscc
+
+import (
+	"testing"
+
+	"nscc/internal/core"
+	"nscc/internal/ga"
+	"nscc/internal/trace"
+)
+
+func runTracedGA(t *testing.T, mode core.Mode) (*trace.Recorder, ga.IslandResult) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	cfg := gaBenchConfig(7)
+	cfg.Mode = mode
+	cfg.Tracer = rec
+	res, err := ga.RunIsland(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, res
+}
+
+// TestTraceBlockWakeBalance: in a run that completes, every parked
+// process was woken exactly once per park, so the sim layer's block and
+// wake instants must balance.
+func TestTraceBlockWakeBalance(t *testing.T) {
+	for _, mode := range []core.Mode{core.Sync, core.NonStrict} {
+		rec, _ := runTracedGA(t, mode)
+		blocks := rec.CountBy(func(e *trace.Event) bool { return e.Name == "block" })
+		wakes := rec.CountBy(func(e *trace.Event) bool { return e.Name == "wake" })
+		if blocks == 0 {
+			t.Fatalf("%v: no block instants recorded", mode)
+		}
+		if blocks != wakes {
+			t.Fatalf("%v: %d block instants vs %d wake instants", mode, blocks, wakes)
+		}
+	}
+}
+
+// TestTraceMonotoneTimestamps: on every (pid, tid, name) track, instant
+// timestamps must be non-decreasing in emission order — virtual time
+// only moves forward — and spans must have non-negative durations
+// starting at or after zero.
+func TestTraceMonotoneTimestamps(t *testing.T) {
+	rec, _ := runTracedGA(t, core.NonStrict)
+	type track struct {
+		pid, tid int
+		name     string
+	}
+	last := map[track]int64{}
+	for _, e := range rec.Events() {
+		if e.TS < 0 {
+			t.Fatalf("negative timestamp: %+v", e)
+		}
+		if e.Ph == trace.PhaseSpan && e.Dur < 0 {
+			t.Fatalf("negative span duration: %+v", e)
+		}
+		if e.Ph != trace.PhaseInstant {
+			continue
+		}
+		k := track{e.Pid, e.Tid, e.Name}
+		if prev, ok := last[k]; ok && e.TS < prev {
+			t.Fatalf("track %+v went backwards: %d after %d", k, e.TS, prev)
+		}
+		last[k] = e.TS
+	}
+}
+
+// TestTraceGlobalReadSpans: every Global_Read emits exactly one span;
+// the ones with positive duration are the blocked reads, so their count
+// must equal the run's blocked-read counter, and no observed staleness
+// may exceed the age bound.
+func TestTraceGlobalReadSpans(t *testing.T) {
+	rec, res := runTracedGA(t, core.NonStrict)
+	var blockedSpans, total int
+	for _, e := range rec.Events() {
+		if e.Ph != trace.PhaseSpan || e.Name != "global_read" {
+			continue
+		}
+		total++
+		if e.Dur > 0 {
+			blockedSpans++
+		}
+		if e.K2 == "stale" && e.V2 > 10 {
+			t.Fatalf("global_read span staleness %d exceeds age bound 10", e.V2)
+		}
+	}
+	if total == 0 {
+		t.Fatal("NonStrict run recorded no global_read spans")
+	}
+	if int64(blockedSpans) != res.Blocked {
+		t.Fatalf("%d blocked global_read spans vs %d blocked reads counted", blockedSpans, res.Blocked)
+	}
+
+	// The fully asynchronous variant never calls Global_Read, so its
+	// trace must contain no such spans.
+	recAsync, _ := runTracedGA(t, core.Async)
+	if n := recAsync.CountBy(func(e *trace.Event) bool { return e.Name == "global_read" }); n != 0 {
+		t.Fatalf("async run recorded %d global_read spans, want 0", n)
+	}
+}
+
+// TestTraceLayerCoverage: a traced Global_Read GA run must produce
+// spans from at least three layers (message delivery, Global_Read,
+// application generations) — the acceptance bar for a useful trace.
+func TestTraceLayerCoverage(t *testing.T) {
+	rec, _ := runTracedGA(t, core.NonStrict)
+	pids := map[int]bool{}
+	for _, e := range rec.Events() {
+		if e.Ph == trace.PhaseSpan {
+			pids[e.Pid] = true
+		}
+	}
+	for _, pid := range []int{trace.PidPVM, trace.PidCore, trace.PidApp} {
+		if !pids[pid] {
+			t.Fatalf("no spans from layer %s; got layers %v", trace.PidName(pid), pids)
+		}
+	}
+}
+
+// TestTraceSendArrivalPairing: with both hooks installed on a traced
+// run, every message ArrivalHook observes must have been seen by
+// SendHook first (arrivals are a subset of sends — multicast delivers
+// one logical send to many receivers).
+func TestTraceSendArrivalPairing(t *testing.T) {
+	cfg := gaBenchConfig(11)
+	res, err := ga.RunIsland(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 {
+		t.Fatal("run sent no messages")
+	}
+	// The hooks live on the pvm.Machine, which RunIsland owns, so the
+	// pairing property is exercised directly at the pvm layer in
+	// internal/pvm's TestSendHookPairsWithArrivalHook; here we check the
+	// trace-level counterpart: every pvm "msg" delivery span in a traced
+	// run has a matching earlier "send" instant from its source task.
+	rec, _ := runTracedGA(t, core.NonStrict)
+	sends := map[int64]map[int]int{} // SentAt ts -> src -> count
+	for _, e := range rec.Events() {
+		if e.Pid != trace.PidPVM {
+			continue
+		}
+		switch e.Name {
+		case "send":
+			m := sends[e.TS]
+			if m == nil {
+				m = map[int]int{}
+				sends[e.TS] = m
+			}
+			m[e.Tid]++
+		case "msg":
+			src := int(e.V1) // K1 "src"
+			if sends[e.TS][src] == 0 {
+				t.Fatalf("msg span at ts=%d from src=%d has no matching send instant", e.TS, src)
+			}
+		}
+	}
+}
