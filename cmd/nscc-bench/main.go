@@ -4,10 +4,16 @@
 //
 //	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4] [-profile quick|full]
 //	           [-trials N] [-gens N] [-procs 2,4,8,16] [-funcs 1,2,...] [-seed N]
+//	           [-workers N] [-bench-out BENCH_name.json]
 //
 // The quick profile runs the full experimental structure at reduced
 // trial counts and generation budgets; the full profile is paper scale
 // (1000-generation synchronous GAs, 25 GA trials) and takes hours.
+//
+// Sweep cells fan out over a worker pool (-workers, default GOMAXPROCS);
+// results are byte-identical at any worker count. -bench-out writes a
+// BENCH_*.json snapshot with per-sweep wall-clock throughput and the
+// standard DES microbenchmarks.
 package main
 
 import (
@@ -16,26 +22,31 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"nscc/internal/benchio"
 	"nscc/internal/exper"
 	"nscc/internal/ga/functions"
+	"nscc/internal/runner"
 	"nscc/internal/trace"
 	"nscc/internal/traceio"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, agesweep")
-		profile = flag.String("profile", "quick", "quick or full")
-		trials  = flag.Int("trials", 0, "override trial count")
-		gens    = flag.Int64("gens", 0, "override synchronous GA generations")
-		procs   = flag.String("procs", "", "override processor counts, e.g. 2,4,8")
-		funcs   = flag.String("funcs", "", "restrict GA functions, e.g. 1,5,7 (default all)")
-		seed    = flag.Int64("seed", 0, "override base seed")
-		csvDir  = flag.String("csv", "", "also write results as CSV files into this directory")
-		useSw   = flag.Bool("switch", false, "run the GA experiments on the SP2-style crossbar switch")
-		trOut   = flag.String("trace-out", "", "run the instrumented demo instead of the suite and write its Chrome trace_event JSON here")
-		metOut  = flag.String("metrics-out", "", "run the instrumented demo instead of the suite and write its telemetry JSON here")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, agesweep")
+		profile  = flag.String("profile", "quick", "quick or full")
+		trials   = flag.Int("trials", 0, "override trial count")
+		gens     = flag.Int64("gens", 0, "override synchronous GA generations")
+		procs    = flag.String("procs", "", "override processor counts, e.g. 2,4,8")
+		funcs    = flag.String("funcs", "", "restrict GA functions, e.g. 1,5,7 (default all)")
+		seed     = flag.Int64("seed", 0, "override base seed")
+		csvDir   = flag.String("csv", "", "also write results as CSV files into this directory")
+		useSw    = flag.Bool("switch", false, "run the GA experiments on the SP2-style crossbar switch")
+		trOut    = flag.String("trace-out", "", "run the instrumented demo instead of the suite and write its Chrome trace_event JSON here")
+		metOut   = flag.String("metrics-out", "", "run the instrumented demo instead of the suite and write its telemetry JSON here")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		benchOut = flag.String("bench-out", "", "write a BENCH_*.json performance snapshot to this path")
 	)
 	flag.Parse()
 
@@ -56,6 +67,7 @@ func main() {
 		opts.Seed = *seed
 	}
 	opts.UseSwitch = *useSw
+	opts.Workers = *workers
 	if *procs != "" {
 		opts.Procs = nil
 		for _, s := range strings.Split(*procs, ",") {
@@ -111,11 +123,26 @@ func main() {
 		return
 	}
 
-	run := func(name string, f func() error) {
+	snap := benchio.NewSnapshot(*exp, runner.Workers(opts.Workers))
+
+	// run executes one experiment and reports its wall-clock shape.
+	// cells is the sweep's pooled job count (0 for analytic reports,
+	// which have nothing to parallelize and no throughput to report).
+	run := func(name string, cells int, f func() error) {
 		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+		wall := time.Since(start)
+		if cells > 0 {
+			secs := wall.Seconds()
+			snap.AddSweep(name, cells, secs)
+			// Timing goes to stderr so stdout (the result tables) stays
+			// byte-identical across worker counts.
+			fmt.Fprintf(os.Stderr, "-- %s: %d cells in %.2fs (%.1f cells/sec, workers=%d)\n",
+				name, cells, secs, float64(cells)/secs, snap.Workers)
 		}
 		fmt.Println()
 	}
@@ -124,19 +151,19 @@ func main() {
 	matched := false
 	if want("table1") {
 		matched = true
-		run("Table 1", func() error { exper.Table1(os.Stdout); return nil })
+		run("Table 1", 0, func() error { exper.Table1(os.Stdout); return nil })
 	}
 	if want("table2") {
 		matched = true
-		run("Table 2", func() error { exper.Table2(os.Stdout, opts); return nil })
+		run("Table 2", exper.Table2Cells(), func() error { exper.Table2(os.Stdout, opts); return nil })
 	}
 	if want("fig1") {
 		matched = true
-		run("Figure 1", func() error { exper.Figure1Report(os.Stdout, opts); return nil })
+		run("Figure 1", 0, func() error { exper.Figure1Report(os.Stdout, opts); return nil })
 	}
 	if want("fig2") {
 		matched = true
-		run("Figure 2", func() error {
+		run("Figure 2", exper.Figure2Cells(opts, fns), func() error {
 			res, err := exper.Figure2(os.Stdout, opts, fns)
 			if err != nil {
 				return err
@@ -149,7 +176,7 @@ func main() {
 	}
 	if want("fig3") {
 		matched = true
-		run("Figure 3", func() error {
+		run("Figure 3", exper.Figure3Cells(opts), func() error {
 			res, err := exper.Figure3(os.Stdout, opts)
 			if err != nil {
 				return err
@@ -161,7 +188,7 @@ func main() {
 	}
 	if want("fig4") {
 		matched = true
-		run("Figure 4", func() error {
+		run("Figure 4", exper.Figure4Cells(opts, fns), func() error {
 			res, err := exper.Figure4(os.Stdout, opts, fns)
 			if err != nil {
 				return err
@@ -174,7 +201,8 @@ func main() {
 	}
 	if *exp == "agesweep" { // not part of "all": it is the extension study
 		matched = true
-		run("Age sweep", func() error {
+		loads := []float64{0, 1e6, 2e6}
+		run("Age sweep", exper.AgeSweepCells(opts, len(loads)), func() error {
 			fn := functions.F1
 			if len(fns) > 0 {
 				fn = fns[0]
@@ -183,13 +211,25 @@ func main() {
 			if len(opts.Procs) > 0 {
 				p = opts.Procs[len(opts.Procs)-1]
 			}
-			_, err := exper.AgeSweep(os.Stdout, opts, fn, p, []float64{0, 1e6, 2e6})
+			_, err := exper.AgeSweep(os.Stdout, opts, fn, p, loads)
 			return err
 		})
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *benchOut != "" {
+		fmt.Println("running microbenchmarks...")
+		for _, m := range benchio.StandardMicros() {
+			snap.RunMicro(m.Name, m.Fn)
+		}
+		if err := benchio.WriteFile(*benchOut, snap); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
 	}
 }
 

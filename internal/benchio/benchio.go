@@ -1,0 +1,92 @@
+// Package benchio produces the repo's perf-trajectory artifacts: the
+// BENCH_<name>.json snapshots nscc-bench emits via -bench-out. A
+// snapshot captures one sweep's wall-clock shape (cells, cells/sec,
+// worker count) together with allocs/op and ns/op from the key DES
+// microbenchmarks, so successive PRs can be compared number-for-number
+// (`git diff` on the JSON, or any plotting of the series).
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Micro is one microbenchmark's measurement.
+type Micro struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+}
+
+// SweepStat records one experiment sweep's wall-clock outcome.
+type SweepStat struct {
+	Name        string  `json:"name"`
+	Cells       int     `json:"cells"`
+	WallSecs    float64 `json:"wall_secs"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// Snapshot is the full BENCH_*.json payload.
+type Snapshot struct {
+	Name       string      `json:"name"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workers    int         `json:"workers"`
+	Sweeps     []SweepStat `json:"sweeps,omitempty"`
+	Micro      []Micro     `json:"microbenchmarks,omitempty"`
+}
+
+// NewSnapshot returns a snapshot stamped with the runtime environment.
+func NewSnapshot(name string, workers int) *Snapshot {
+	return &Snapshot{
+		Name:       name,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+}
+
+// AddSweep records one sweep's wall-clock result.
+func (s *Snapshot) AddSweep(name string, cells int, wallSecs float64) {
+	st := SweepStat{Name: name, Cells: cells, WallSecs: wallSecs}
+	if wallSecs > 0 {
+		st.CellsPerSec = float64(cells) / wallSecs
+	}
+	s.Sweeps = append(s.Sweeps, st)
+}
+
+// RunMicro executes fn under the testing benchmark harness and records
+// its ns/op, allocs/op and bytes/op. The benchmark functions must call
+// b.ReportAllocs (or the harness must be invoked with -benchmem; here
+// allocation stats are always collected via ReportAllocs in the
+// callees).
+func (s *Snapshot) RunMicro(name string, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	s.Micro = append(s.Micro, Micro{
+		Name:     name,
+		NsPerOp:  float64(r.NsPerOp()),
+		AllocsOp: float64(r.AllocsPerOp()),
+		BytesOp:  float64(r.AllocedBytesPerOp()),
+	})
+}
+
+// WriteFile writes the snapshot as indented JSON (a no-op when path is
+// empty).
+func WriteFile(path string, s *Snapshot) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("benchio: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewSnapshot("test", 4)
+	s.AddSweep("fig2", 64, 2.0)
+	if s.Sweeps[0].CellsPerSec != 32 {
+		t.Fatalf("cells/sec = %v", s.Sweeps[0].CellsPerSec)
+	}
+	s.Micro = append(s.Micro, Micro{Name: "sim.SleepLoop", NsPerOp: 500, AllocsOp: 0})
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "test" || back.Workers != 4 || len(back.Sweeps) != 1 || len(back.Micro) != 1 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.GoVersion == "" || back.GOMAXPROCS < 1 {
+		t.Fatalf("environment stamp missing: %+v", back)
+	}
+}
+
+func TestWriteFileEmptyPathNoop(t *testing.T) {
+	if err := WriteFile("", NewSnapshot("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMicroCollectsAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	s := NewSnapshot("t", 1)
+	s.RunMicro("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink []byte
+		for i := 0; i < b.N; i++ {
+			sink = make([]byte, 64)
+		}
+		_ = sink
+	})
+	m := s.Micro[0]
+	if m.AllocsOp < 1 || m.BytesOp < 64 {
+		t.Fatalf("alloc stats not collected: %+v", m)
+	}
+}
+
+func TestStandardMicrosAreNamed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range StandardMicros() {
+		if m.Name == "" || m.Fn == nil || seen[m.Name] {
+			t.Fatalf("bad micro entry %+v", m)
+		}
+		seen[m.Name] = true
+	}
+}

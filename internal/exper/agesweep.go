@@ -8,6 +8,7 @@ import (
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/netsim"
+	"nscc/internal/runner"
 	"nscc/internal/sim"
 )
 
@@ -36,9 +37,17 @@ type AgeSweepResult struct {
 // the optimum.
 var ageSweepAges = []int64{0, 2, 5, 10, 20, 30, 50}
 
+// ageSweepSeed is the per-trial seed shared by the serial reference,
+// the synchronous target run, and every age point of that trial.
+func ageSweepSeed(opts Options, trial int) int64 {
+	return runner.DeriveSeed(opts.Seed, seedStreamAge, int64(trial))
+}
+
 // AgeSweep measures speedup as a function of the Global_Read age for fn
 // on p processors, at each background load level, plus the dynamic-age
-// adaptation for comparison.
+// adaptation for comparison. The sweep runs in two pooled stages: the
+// per-(load, trial) synchronous reference runs (which define each
+// trial's quality target), then every (load, age, trial) cell.
 func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []float64) (AgeSweepResult, error) {
 	if fn == nil {
 		fn = functions.F1
@@ -50,15 +59,22 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 	par := ga.DeJongParams()
 	calib := ga.DefaultCalibration()
 
-	for _, load := range loads {
-		var serialSum, syncAvgSum sim.Duration
-		targets := make([]float64, opts.Trials)
-		serials := make([]sim.Duration, opts.Trials)
-		for trial := 0; trial < opts.Trials; trial++ {
-			seed := opts.Seed + int64(trial)*7919
+	// Stage 1: references. One job per (load, trial); each returns the
+	// serial baseline time and the synchronous run's final average (the
+	// quality target of stage 2's runs at that load and trial).
+	type refOut struct {
+		serial sim.Duration
+		target float64
+	}
+	nLoads, nTrials := len(loads), opts.Trials
+	refs, err := runner.Map(nLoads*nTrials, opts.Workers,
+		func(i int) string {
+			return fmt.Sprintf("agesweep ref load=%.1fMbps trial=%d", loads[i/nTrials]/1e6, i%nTrials)
+		},
+		func(i int) (refOut, error) {
+			load, trial := loads[i/nTrials], i%nTrials
+			seed := ageSweepSeed(opts, trial)
 			serial := ga.RunSerial(fn, par, par.N*p, opts.SyncGens, seed, calib)
-			serials[trial] = serial.Time
-			serialSum += serial.Time
 			syncCfg := ga.IslandConfig{
 				Fn: fn, Par: par, P: p, Mode: core.Sync,
 				FixedGens: opts.SyncGens, Seed: seed, Calib: calib, LoaderBps: load,
@@ -69,55 +85,89 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			}
 			syncRes, err := ga.RunIsland(syncCfg)
 			if err != nil {
-				return res, err
+				return refOut{}, err
 			}
-			targets[trial] = syncRes.Avg
-			syncAvgSum += syncRes.Completion
-		}
+			return refOut{serial: serial.Time, target: syncRes.Avg}, nil
+		})
+	if err != nil {
+		return res, err
+	}
 
-		runAge := func(age int64, dynamic bool) (AgeSweepRow, error) {
+	// Stage 2: the sweep surface. Age index len(ageSweepAges) is the
+	// dynamic-age pseudo-point.
+	type cellOut struct {
+		comp    sim.Duration
+		blocked sim.Duration
+		warp    float64
+	}
+	nAges := len(ageSweepAges) + 1
+	cellAge := func(ai int) (age int64, dynamic bool) {
+		if ai == len(ageSweepAges) {
+			return 1, true // dynamic starts tight and adapts
+		}
+		return ageSweepAges[ai], false
+	}
+	outs, err := runner.Map(nLoads*nAges*nTrials, opts.Workers,
+		func(i int) string {
+			li, ai, trial := i/(nAges*nTrials), (i/nTrials)%nAges, i%nTrials
+			age, dynamic := cellAge(ai)
+			name := fmt.Sprintf("age=%d", age)
+			if dynamic {
+				name = "age=dyn"
+			}
+			return fmt.Sprintf("agesweep load=%.1fMbps %s trial=%d", loads[li]/1e6, name, trial)
+		},
+		func(i int) (cellOut, error) {
+			li, ai, trial := i/(nAges*nTrials), (i/nTrials)%nAges, i%nTrials
+			age, dynamic := cellAge(ai)
+			seed := ageSweepSeed(opts, trial)
+			cfg := ga.IslandConfig{
+				Fn: fn, Par: par, P: p, Mode: core.NonStrict, Age: age,
+				FixedGens: opts.SyncGens, MinGens: opts.SyncGens,
+				MaxGens: int64(opts.CapFactor * float64(opts.SyncGens)),
+				Target:  refs[li*nTrials+trial].target,
+				Seed:    seed, Calib: calib, LoaderBps: loads[li],
+				DynamicAge: dynamic,
+			}
+			if opts.UseSwitch {
+				sw := netsim.DefaultSwitchConfig()
+				cfg.Switch = &sw
+			}
+			r, err := ga.RunIsland(cfg)
+			if err != nil {
+				return cellOut{}, err
+			}
+			return cellOut{comp: r.Completion, blocked: r.BlockedTime, warp: r.WarpMean}, nil
+		})
+	if err != nil {
+		return res, err
+	}
+
+	// Aggregate trials in enumeration order.
+	for li, load := range loads {
+		var serialSum sim.Duration
+		for trial := 0; trial < nTrials; trial++ {
+			serialSum += refs[li*nTrials+trial].serial
+		}
+		for ai := 0; ai < nAges; ai++ {
+			age, dynamic := cellAge(ai)
 			row := AgeSweepRow{Age: age, LoadBps: load}
 			var compSum sim.Duration
 			var warpSum float64
-			for trial := 0; trial < opts.Trials; trial++ {
-				seed := opts.Seed + int64(trial)*7919
-				cfg := ga.IslandConfig{
-					Fn: fn, Par: par, P: p, Mode: core.NonStrict, Age: age,
-					FixedGens: opts.SyncGens, MinGens: opts.SyncGens,
-					MaxGens: int64(opts.CapFactor * float64(opts.SyncGens)),
-					Target:  targets[trial],
-					Seed:    seed, Calib: calib, LoaderBps: load,
-					DynamicAge: dynamic,
-				}
-				if opts.UseSwitch {
-					sw := netsim.DefaultSwitchConfig()
-					cfg.Switch = &sw
-				}
-				r, err := ga.RunIsland(cfg)
-				if err != nil {
-					return row, err
-				}
-				compSum += r.Completion
-				row.Blocked += r.BlockedTime
-				warpSum += r.WarpMean
+			for trial := 0; trial < nTrials; trial++ {
+				out := outs[(li*nAges+ai)*nTrials+trial]
+				compSum += out.comp
+				row.Blocked += out.blocked
+				warpSum += out.warp
 			}
 			row.Speedup = ratio(serialSum, compSum)
-			row.Warp = warpSum / float64(opts.Trials)
-			return row, nil
-		}
-
-		for _, age := range ageSweepAges {
-			row, err := runAge(age, false)
-			if err != nil {
-				return res, err
+			row.Warp = warpSum / float64(nTrials)
+			if dynamic {
+				res.Dynamic = append(res.Dynamic, row)
+			} else {
+				res.Rows = append(res.Rows, row)
 			}
-			res.Rows = append(res.Rows, row)
 		}
-		dyn, err := runAge(1, true)
-		if err != nil {
-			return res, err
-		}
-		res.Dynamic = append(res.Dynamic, dyn)
 	}
 
 	if w != nil {

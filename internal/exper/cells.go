@@ -1,0 +1,46 @@
+package exper
+
+import (
+	"nscc/internal/bayes"
+	"nscc/internal/ga/functions"
+)
+
+// Cell counts for the pooled sweeps. A "cell" is one independent,
+// fully-seeded simulation job as dispatched to the runner pool;
+// nscc-bench divides wall-clock time by these to report cells/sec.
+
+// Figure2Cells is the Figure 2 job count: procs × functions × trials.
+func Figure2Cells(opts Options, fns []*functions.Function) int {
+	return len(opts.Procs) * nFns(fns) * opts.Trials
+}
+
+// Figure3Cells is the Figure 3 job count: Table 2 networks × trials.
+func Figure3Cells(opts Options) int {
+	return len(bayes.Table2Networks()) * opts.Trials
+}
+
+// Figure4Cells is the Figure 4 job count: loads × functions × trials.
+func Figure4Cells(opts Options, fns []*functions.Function) int {
+	return len(Figure4Loads) * nFns(fns) * opts.Trials
+}
+
+// Table2Cells is the Table 2 job count: one per network.
+func Table2Cells() int {
+	return len(bayes.Table2Networks())
+}
+
+// AgeSweepCells is the age-sweep job count across both pooled stages:
+// the per-(load, trial) references plus every (load, age, trial) cell
+// including the dynamic-age pseudo-point.
+func AgeSweepCells(opts Options, nLoads int) int {
+	refs := nLoads * opts.Trials
+	sweep := nLoads * (len(ageSweepAges) + 1) * opts.Trials
+	return refs + sweep
+}
+
+func nFns(fns []*functions.Function) int {
+	if fns == nil {
+		return len(functions.All())
+	}
+	return len(fns)
+}

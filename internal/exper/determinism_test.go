@@ -1,0 +1,73 @@
+package exper
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nscc/internal/ga/functions"
+)
+
+// figure2Fixture runs a reduced Figure 2 sweep (2 functions × 2 proc
+// counts × Quick trials) at the given worker count and returns both the
+// result structs and the rendered text table.
+func figure2Fixture(t *testing.T, workers int) (Figure2Result, string) {
+	t.Helper()
+	opts := Quick()
+	opts.Workers = workers
+	opts.Procs = []int{2, 4}
+	var buf bytes.Buffer
+	res, err := Figure2(&buf, opts, []*functions.Function{functions.F1, functions.F5})
+	if err != nil {
+		t.Fatalf("Figure2(workers=%d): %v", workers, err)
+	}
+	return res, buf.String()
+}
+
+// TestFigure2DeterministicAcrossWorkerCounts is the parallel-sweep
+// determinism regression: results and rendered output must be
+// byte-identical whether cells run serially or fan out over 8 workers.
+func TestFigure2DeterministicAcrossWorkerCounts(t *testing.T) {
+	serial, serialText := figure2Fixture(t, 1)
+	pooled, pooledText := figure2Fixture(t, 8)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("Figure2 result structs differ between workers=1 and workers=8:\n%+v\nvs\n%+v", serial, pooled)
+	}
+	if serialText != pooledText {
+		t.Errorf("Figure2 rendered tables differ between workers=1 and workers=8:\n%s\nvs\n%s", serialText, pooledText)
+	}
+}
+
+// TestConcurrentGACellsIsolated runs the same cell from several
+// goroutines at once and checks each result matches the serial
+// reference. Under -race this also proves no package-level mutable
+// state is shared between concurrently running engines.
+func TestConcurrentGACellsIsolated(t *testing.T) {
+	opts := Quick()
+	opts.Workers = 1
+	ref, err := GACell(functions.F1, 4, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	results := make([]GARow, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = GACell(functions.F1, 4, opts, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent cell %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(ref, results[i]) {
+			t.Errorf("concurrent cell %d diverged from serial reference:\n%+v\nvs\n%+v", i, ref, results[i])
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/netsim"
+	"nscc/internal/runner"
 	"nscc/internal/sim"
 )
 
@@ -59,6 +60,30 @@ type Options struct {
 	// switch instead of the shared Ethernet (the extension experiment
 	// behind the paper's §4.1 expectation).
 	UseSwitch bool
+	// Workers is the sweep parallelism: every driver enumerates its
+	// cells up front and dispatches them on a runner pool of this many
+	// workers (<1 = one per CPU). Results are aggregated in cell order,
+	// so output is byte-identical at any worker count.
+	Workers int
+}
+
+// Seed streams keep the drivers' cell spaces disjoint: every call site
+// derives seeds as runner.DeriveSeed(opts.Seed, stream, dims...), so a
+// GA cell can never alias a Bayes trial, an age-sweep trial, or a
+// Table 2 partitioning run.
+const (
+	seedStreamGA int64 = iota + 1
+	seedStreamBayes
+	seedStreamAge
+	seedStreamTable2
+)
+
+// gaCellSeed derives the seed of one (trial, function, P) GA cell. The
+// serial baseline and every variant of the cell share it, preserving
+// the paired-comparison structure of the old inline arithmetic without
+// its cross-cell collisions.
+func gaCellSeed(opts Options, trial int, fn *functions.Function, p int) int64 {
+	return runner.DeriveSeed(opts.Seed, seedStreamGA, int64(trial), int64(fn.No), int64(p))
 }
 
 // Quick returns the fast profile used by the benchmark harness: the
@@ -273,15 +298,18 @@ func (a *gaSums) row(fn *functions.Function, p int, loadBps float64) GARow {
 }
 
 // GACell runs opts.Trials seeded trials of one (function, P, load)
-// cell and derives the comparison metrics.
+// cell on the worker pool and derives the comparison metrics.
 func GACell(fn *functions.Function, p int, opts Options, loadBps float64) (GARow, error) {
+	outs, err := runner.Map(opts.Trials, opts.Workers,
+		func(t int) string { return fmt.Sprintf("F%d P=%d trial=%d", fn.No, p, t) },
+		func(t int) (trialOut, error) {
+			return gaTrial(fn, p, gaCellSeed(opts, t, fn, p), opts, loadBps)
+		})
+	if err != nil {
+		return GARow{}, err
+	}
 	acc := newGASums()
-	for trial := 0; trial < opts.Trials; trial++ {
-		seed := opts.Seed + int64(trial)*7919 + int64(fn.No)*31 + int64(p)
-		out, err := gaTrial(fn, p, seed, opts, loadBps)
-		if err != nil {
-			return GARow{}, err
-		}
+	for _, out := range outs {
 		acc.add(out)
 	}
 	return acc.row(fn, p, loadBps), nil

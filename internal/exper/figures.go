@@ -7,8 +7,35 @@ import (
 	"nscc/internal/bayes"
 	"nscc/internal/core"
 	"nscc/internal/ga/functions"
+	"nscc/internal/runner"
 	"nscc/internal/sim"
 )
+
+// gaCellRef names one (P or load, function, trial) cell of a GA sweep.
+// Drivers enumerate their full cell space up front, dispatch every cell
+// on the worker pool, and then aggregate the collected trialOuts in
+// enumeration order — the same order the old nested loops used — so
+// results are independent of the worker count.
+type gaCellRef struct {
+	fn    *functions.Function
+	p     int
+	load  float64
+	trial int
+}
+
+// runGACells executes one trial per cell on the pool, returning the
+// outputs in cell order. ctx names the calling figure in errors.
+func runGACells(ctx string, cells []gaCellRef, opts Options) ([]trialOut, error) {
+	return runner.Map(len(cells), opts.Workers,
+		func(i int) string {
+			c := cells[i]
+			return fmt.Sprintf("%s F%d P=%d load=%.1fMbps trial=%d", ctx, c.fn.No, c.p, c.load/1e6, c.trial)
+		},
+		func(i int) (trialOut, error) {
+			c := cells[i]
+			return gaTrial(c.fn, c.p, gaCellSeed(opts, c.trial, c.fn, c.p), opts, c.load)
+		})
+}
 
 // Figure2Result holds the GA speedups on the unloaded network (Figure
 // 2): the best case (function 1) and the 8-function average, per
@@ -28,16 +55,26 @@ func Figure2(w io.Writer, opts Options, fns []*functions.Function) (Figure2Resul
 		fns = functions.All()
 	}
 	var res Figure2Result
+	var cells []gaCellRef
+	for _, p := range opts.Procs {
+		for _, fn := range fns {
+			for trial := 0; trial < opts.Trials; trial++ {
+				cells = append(cells, gaCellRef{fn: fn, p: p, trial: trial})
+			}
+		}
+	}
+	outs, err := runGACells("figure2", cells, opts)
+	if err != nil {
+		return res, err
+	}
+	idx := 0
 	for _, p := range opts.Procs {
 		agg := newGASums()
 		for _, fn := range fns {
 			cellAcc := newGASums()
 			for trial := 0; trial < opts.Trials; trial++ {
-				seed := opts.Seed + int64(trial)*7919 + int64(fn.No)*31 + int64(p)
-				out, err := gaTrial(fn, p, seed, opts, 0)
-				if err != nil {
-					return res, fmt.Errorf("figure2 F%d P=%d: %w", fn.No, p, err)
-				}
+				out := outs[idx]
+				idx++
 				cellAcc.add(out)
 				agg.add(out)
 			}
@@ -75,17 +112,27 @@ func Figure4(w io.Writer, opts Options, fns []*functions.Function) (Figure4Resul
 	}
 	const p = 4 // the paper was restricted to a 4-node configuration
 	var res Figure4Result
+	var cells []gaCellRef
+	for _, load := range Figure4Loads {
+		for _, fn := range fns {
+			for trial := 0; trial < opts.Trials; trial++ {
+				cells = append(cells, gaCellRef{fn: fn, p: p, load: load, trial: trial})
+			}
+		}
+	}
+	outs, err := runGACells("figure4", cells, opts)
+	if err != nil {
+		return res, err
+	}
+	idx := 0
 	for _, load := range Figure4Loads {
 		agg := newGASums()
 		var best GARow
 		for _, fn := range fns {
 			cellAcc := newGASums()
 			for trial := 0; trial < opts.Trials; trial++ {
-				seed := opts.Seed + int64(trial)*7919 + int64(fn.No)*31 + int64(p)
-				out, err := gaTrial(fn, p, seed, opts, load)
-				if err != nil {
-					return res, fmt.Errorf("figure4 F%d load=%.1fMbps: %w", fn.No, load/1e6, err)
-				}
+				out := outs[idx]
+				idx++
 				cellAcc.add(out)
 				agg.add(out)
 			}
@@ -150,27 +197,44 @@ var bayesAges = Ages
 func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 	nets := bayes.Table2Networks()
 	var res Figure3Result
-	totSerial := sim.Duration(0)
-	totPar := map[Variant]sim.Duration{}
-	avgAcc := BayesRow{Speedup: map[Variant]float64{}, Rollbacks: map[Variant]float64{}, Iters: map[Variant]float64{}}
 
+	// One job per (network, trial): the serial reference plus every
+	// variant, all sharing the trial seed (the paired comparison the
+	// paper's average metric needs).
+	type bayesTrialOut struct {
+		serial    sim.Duration
+		par       map[Variant]sim.Duration
+		rollbacks map[Variant]int64
+		iters     map[Variant]int64
+	}
+	type bayesCellRef struct {
+		net   *bayes.Network
+		trial int
+	}
+	var cells []bayesCellRef
 	for _, bn := range nets {
-		row := BayesRow{
-			Net:       bn,
-			Speedup:   map[Variant]float64{},
-			Rollbacks: map[Variant]float64{},
-			Iters:     map[Variant]float64{},
-		}
-		serialSum := sim.Duration(0)
-		parSum := map[Variant]sim.Duration{}
 		for trial := 0; trial < opts.Trials; trial++ {
-			seed := opts.Seed + int64(trial)*104729
+			cells = append(cells, bayesCellRef{net: bn, trial: trial})
+		}
+	}
+	outs, err := runner.Map(len(cells), opts.Workers,
+		func(i int) string {
+			return fmt.Sprintf("figure3 %s trial=%d", cells[i].net.Name, cells[i].trial)
+		},
+		func(i int) (bayesTrialOut, error) {
+			bn, trial := cells[i].net, cells[i].trial
+			// The trial seed is shared across networks (not a collision:
+			// each network is a distinct paired experiment on the stream).
+			seed := runner.DeriveSeed(opts.Seed, seedStreamBayes, int64(trial))
 			q := bayes.DefaultQuery(bn)
 			calib := bayes.DefaultCalibration()
+			out := bayesTrialOut{
+				par:       map[Variant]sim.Duration{},
+				rollbacks: map[Variant]int64{},
+				iters:     map[Variant]int64{},
+			}
 			serial := bayes.InferSerial(bn, q, opts.Precision, seed, calib, bayesMaxIters(opts))
-			serialSum += serial.Time
-			totSerial += serial.Time
-
+			out.serial = serial.Time
 			for _, v := range bayesVariants() {
 				cfg := bayes.ParallelConfig{
 					Net: bn, Query: q, P: 2,
@@ -182,12 +246,41 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 				}
 				pr, err := bayes.RunParallel(cfg)
 				if err != nil {
-					return res, fmt.Errorf("figure3 %s %s: %w", bn.Name, v, err)
+					return out, fmt.Errorf("%s: %w", v, err)
 				}
-				parSum[v] += pr.Completion
-				totPar[v] += pr.Completion
-				row.Rollbacks[v] += float64(pr.Rollbacks) / float64(opts.Trials)
-				row.Iters[v] += float64(pr.Iters) / float64(opts.Trials)
+				out.par[v] += pr.Completion
+				out.rollbacks[v] = pr.Rollbacks
+				out.iters[v] = pr.Iters
+			}
+			return out, nil
+		})
+	if err != nil {
+		return res, err
+	}
+
+	totSerial := sim.Duration(0)
+	totPar := map[Variant]sim.Duration{}
+	avgAcc := BayesRow{Speedup: map[Variant]float64{}, Rollbacks: map[Variant]float64{}, Iters: map[Variant]float64{}}
+	idx := 0
+	for _, bn := range nets {
+		row := BayesRow{
+			Net:       bn,
+			Speedup:   map[Variant]float64{},
+			Rollbacks: map[Variant]float64{},
+			Iters:     map[Variant]float64{},
+		}
+		serialSum := sim.Duration(0)
+		parSum := map[Variant]sim.Duration{}
+		for trial := 0; trial < opts.Trials; trial++ {
+			out := outs[idx]
+			idx++
+			serialSum += out.serial
+			totSerial += out.serial
+			for _, v := range bayesVariants() {
+				parSum[v] += out.par[v]
+				totPar[v] += out.par[v]
+				row.Rollbacks[v] += float64(out.rollbacks[v]) / float64(opts.Trials)
+				row.Iters[v] += float64(out.iters[v]) / float64(opts.Trials)
 			}
 		}
 		for _, v := range bayesVariants() {

@@ -1,0 +1,49 @@
+package exper
+
+import (
+	"testing"
+
+	"nscc/internal/ga/functions"
+	"nscc/internal/runner"
+)
+
+// TestFullProfileSeedsUnique enumerates every distinct seed the Full
+// profile draws across all four derivation streams (GA cells, Bayes
+// trials, age-sweep trials, Table 2 partitioners) and asserts there are
+// no collisions. The old linear formula (Seed + trial*7919 + fn.No*31
+// + p) aliased distant cells; DeriveSeed must not.
+//
+// Seeds deliberately shared are enumerated once: a GA cell's serial
+// baseline and all its variants share the cell seed, Figure 3 shares
+// each trial seed across networks, Figure 4 shares the GA cell seed
+// across load levels, and the age sweep shares each trial seed across
+// ages and loads — all paired comparisons on one stream.
+func TestFullProfileSeedsUnique(t *testing.T) {
+	opts := Full()
+	seen := map[int64]string{}
+	check := func(seed int64, what string) {
+		if prev, ok := seen[seed]; ok {
+			t.Fatalf("seed collision: %s and %s both derive %d", prev, what, seed)
+		}
+		seen[seed] = what
+	}
+
+	for trial := 0; trial < opts.Trials; trial++ {
+		for _, fn := range functions.All() {
+			for _, p := range opts.Procs {
+				check(gaCellSeed(opts, trial, fn, p),
+					"ga("+fn.Name+")")
+			}
+		}
+		check(runner.DeriveSeed(opts.Seed, seedStreamBayes, int64(trial)), "bayes")
+		check(ageSweepSeed(opts, trial), "agesweep")
+	}
+	for i := 0; i < 4; i++ {
+		check(runner.DeriveSeed(opts.Seed, seedStreamTable2, int64(i)), "table2")
+	}
+
+	want := opts.Trials*(len(functions.All())*len(opts.Procs)+2) + 4
+	if len(seen) != want {
+		t.Fatalf("enumerated %d seeds, want %d", len(seen), want)
+	}
+}

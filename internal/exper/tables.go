@@ -8,6 +8,7 @@ import (
 	"nscc/internal/bayes"
 	"nscc/internal/ga/functions"
 	"nscc/internal/partition"
+	"nscc/internal/runner"
 	"nscc/internal/sim"
 )
 
@@ -79,26 +80,37 @@ type Table2Row struct {
 var paperSerialSecs = map[string]float64{"A": 11.12, "AA": 11.19, "C": 11.81, "Hailfinder": 3.15}
 
 // Table2 reproduces Table 2: the four belief networks with their
-// partitioning and uniprocessor inference statistics.
+// partitioning and uniprocessor inference statistics. Each network is
+// one cell on the worker pool; the partitioner's random stream is
+// derived per network (instead of threaded serially through one rng)
+// so the cells are order-independent.
 func Table2(w io.Writer, opts Options) []Table2Row {
-	var rows []Table2Row
-	rng := rand.New(rand.NewSource(opts.Seed))
-	for _, bn := range bayes.Table2Networks() {
-		g := bn.Graph()
-		parts := partition.Bisect(g, rng)
-		pipe := partition.TopoPrefixSplit(bn.N(), 2, func(int) int { return 1 })
-		q := bayes.DefaultQuery(bn)
-		serial := bayes.InferSerial(bn, q, opts.Precision, opts.Seed, bayes.DefaultCalibration(), bayesMaxIters(opts))
-		rows = append(rows, Table2Row{
-			Net:       bn,
-			Nodes:     bn.N(),
-			EdgesPer:  bn.EdgesPerNode(),
-			Values:    bn.MaxStates(),
-			EdgeCut:   partition.EdgeCut(g, parts),
-			PipeCut:   partition.EdgeCut(g, pipe),
-			Serial:    serial.Time,
-			SerialRef: paperSerialSecs[bn.Name],
+	nets := bayes.Table2Networks()
+	rows, err := runner.Map(len(nets), opts.Workers,
+		func(i int) string { return fmt.Sprintf("table2 %s", nets[i].Name) },
+		func(i int) (Table2Row, error) {
+			bn := nets[i]
+			rng := rand.New(rand.NewSource(runner.DeriveSeed(opts.Seed, seedStreamTable2, int64(i))))
+			g := bn.Graph()
+			parts := partition.Bisect(g, rng)
+			pipe := partition.TopoPrefixSplit(bn.N(), 2, func(int) int { return 1 })
+			q := bayes.DefaultQuery(bn)
+			serial := bayes.InferSerial(bn, q, opts.Precision, opts.Seed, bayes.DefaultCalibration(), bayesMaxIters(opts))
+			return Table2Row{
+				Net:       bn,
+				Nodes:     bn.N(),
+				EdgesPer:  bn.EdgesPerNode(),
+				Values:    bn.MaxStates(),
+				EdgeCut:   partition.EdgeCut(g, parts),
+				PipeCut:   partition.EdgeCut(g, pipe),
+				Serial:    serial.Time,
+				SerialRef: paperSerialSecs[bn.Name],
+			}, nil
 		})
+	if err != nil {
+		// The cells cannot fail (no error paths); a panic inside one
+		// surfaces here.
+		panic(err)
 	}
 	if w != nil {
 		fmt.Fprintln(w, "Table 2: four Bayesian belief networks")

@@ -171,28 +171,25 @@ func (n *Network) txTime(size int) sim.Duration {
 // Frames from one source to one destination are delivered in FIFO order
 // (the single bus serializes everything).
 func (n *Network) Send(src, dst, size int, payload interface{}) {
-	n.SendFull(src, dst, size, payload, nil)
+	n.Unicast(src, dst, size, payload, nil)
 }
 
 // SendFull is Send with an onWire callback fired when the frame finishes
 // transmission (leaves the sender's NIC). Senders that bound their
 // in-flight frames use it to implement outbox windows.
 func (n *Network) SendFull(src, dst, size int, payload interface{}, onWire func()) {
-	n.Multicast(src, []int{dst}, size, payload, onWire)
+	n.Unicast(src, dst, size, payload, onWire)
 }
 
-// Multicast transmits one frame that every node in dsts receives — the
-// shared-medium property of Ethernet that PVM's pvm_mcast exploits: a
-// broadcast datagram occupies the bus once regardless of the receiver
-// count. The island GA's best-N/2 broadcast (§4.2.1) depends on this
-// for its scaling. Loss (if configured) is drawn independently per
-// receiver.
-func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, onWire func()) {
-	for _, dst := range dsts {
-		if dst < 0 || dst >= len(n.handlers) {
-			panic(fmt.Sprintf("netsim: send to unknown node %d", dst))
-		}
-	}
+// admitFrame performs the shared-bus admission bookkeeping for one
+// frame — queuing behind the busy bus (with the CSMA/CD-style backoff
+// penalty), stats, tracing, and the onWire schedule — and returns the
+// frame's delivery time. The backoff penalty grows with the contention
+// the frame found but saturates at ContentionBackoff transmission
+// times: Ethernet's effective throughput degrades to roughly
+// 1/(1+ContentionBackoff) of nominal under sustained load rather than
+// collapsing.
+func (n *Network) admitFrame(src, size int, onWire func()) sim.Time {
 	now := n.eng.Now()
 	n.stats.Frames++
 	n.perNode[src].Frames++
@@ -201,11 +198,6 @@ func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, 
 	start := now
 	if n.busFreeAt > start {
 		start = n.busFreeAt
-		// Bus busy on arrival: a CSMA/CD-style backoff penalty that
-		// grows with the contention the frame found but saturates at
-		// ContentionBackoff transmission times — Ethernet's effective
-		// throughput degrades to roughly 1/(1+ContentionBackoff) of
-		// nominal under sustained load rather than collapsing.
 		if n.cfg.ContentionBackoff > 0 && n.queued > 0 {
 			f := float64(n.queued) / 16
 			if f > 1 {
@@ -231,21 +223,74 @@ func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, 
 	if onWire != nil {
 		n.eng.Schedule(n.busFreeAt, onWire)
 	}
-	deliverAt := n.busFreeAt.Add(n.cfg.PropDelay)
-	lost := make([]bool, len(dsts))
-	for i := range dsts {
-		lost[i] = n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb
+	return n.busFreeAt.Add(n.cfg.PropDelay)
+}
+
+// traceDrop emits the loss record for a dropped delivery.
+func (n *Network) traceDrop(src, dst, size int) {
+	if tr := n.eng.Tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(n.eng.Now()), Ph: trace.PhaseInstant,
+			Pid: trace.PidNet, Tid: dst, Cat: "net", Name: "drop",
+			K1: "src", V1: int64(src), K2: "size", V2: int64(size)})
+	}
+}
+
+// Unicast is the single-destination transmission path. It is what Send
+// and the message layer's point-to-point traffic use: semantically a
+// one-element Multicast, but without the destination-slice and
+// loss-slice allocations of the general path — point-to-point sends
+// dominate the pipelined inference workloads, so this is a DES hot
+// path.
+func (n *Network) Unicast(src, dst, size int, payload interface{}, onWire func()) {
+	if dst < 0 || dst >= len(n.handlers) {
+		panic(fmt.Sprintf("netsim: send to unknown node %d", dst))
+	}
+	now := n.eng.Now()
+	deliverAt := n.admitFrame(src, size, onWire)
+	lost := n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb
+	n.eng.Schedule(deliverAt, func() {
+		n.queued--
+		if lost {
+			n.stats.Dropped++
+			n.traceDrop(src, dst, size)
+			return
+		}
+		n.stats.Delivered++
+		n.handlers[dst](src, payload, now)
+	})
+}
+
+// Multicast transmits one frame that every node in dsts receives — the
+// shared-medium property of Ethernet that PVM's pvm_mcast exploits: a
+// broadcast datagram occupies the bus once regardless of the receiver
+// count. The island GA's best-N/2 broadcast (§4.2.1) depends on this
+// for its scaling. Loss (if configured) is drawn independently per
+// receiver.
+func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, onWire func()) {
+	if len(dsts) == 1 {
+		n.Unicast(src, dsts[0], size, payload, onWire)
+		return
+	}
+	for _, dst := range dsts {
+		if dst < 0 || dst >= len(n.handlers) {
+			panic(fmt.Sprintf("netsim: send to unknown node %d", dst))
+		}
+	}
+	now := n.eng.Now()
+	deliverAt := n.admitFrame(src, size, onWire)
+	var lost []bool // allocated only when loss injection is on
+	if n.cfg.LossProb > 0 {
+		lost = make([]bool, len(dsts))
+		for i := range dsts {
+			lost[i] = n.rng.Float64() < n.cfg.LossProb
+		}
 	}
 	n.eng.Schedule(deliverAt, func() {
 		n.queued--
 		for i, dst := range dsts {
-			if lost[i] {
+			if lost != nil && lost[i] {
 				n.stats.Dropped++
-				if tr := n.eng.Tracer(); tr != nil {
-					tr.Emit(trace.Event{TS: int64(n.eng.Now()), Ph: trace.PhaseInstant,
-						Pid: trace.PidNet, Tid: dst, Cat: "net", Name: "drop",
-						K1: "src", V1: int64(src), K2: "size", V2: int64(size)})
-				}
+				n.traceDrop(src, dst, size)
 				continue
 			}
 			n.stats.Delivered++

@@ -25,7 +25,11 @@ type Fabric interface {
 	// business (one bus occupancy on Ethernet; one unicast per
 	// destination on a switch).
 	Multicast(src int, dsts []int, size int, payload interface{}, onWire func())
-	// Send is single-destination Multicast.
+	// Unicast is single-destination Multicast without the general
+	// path's slice allocations — the hot path for point-to-point
+	// traffic.
+	Unicast(src, dst, size int, payload interface{}, onWire func())
+	// Send is Unicast without the onWire callback.
 	Send(src, dst, size int, payload interface{})
 	// Nodes reports the number of attached nodes.
 	Nodes() int
@@ -110,7 +114,43 @@ func (s *Switch) txTime(size int) sim.Duration {
 
 // Send transmits payload from src to dst over src's egress link.
 func (s *Switch) Send(src, dst, size int, payload interface{}) {
-	s.Multicast(src, []int{dst}, size, payload, nil)
+	s.Unicast(src, dst, size, payload, nil)
+}
+
+// Unicast transmits payload to one destination without the
+// destination-slice allocation of the general Multicast path.
+func (s *Switch) Unicast(src, dst, size int, payload interface{}, onWire func()) {
+	if src < 0 || src >= len(s.handlers) {
+		panic(fmt.Sprintf("netsim: multicast from unknown node %d", src))
+	}
+	if dst < 0 || dst >= len(s.handlers) {
+		panic(fmt.Sprintf("netsim: send to unknown node %d", dst))
+	}
+	now := s.eng.Now()
+	start := now
+	if s.egressFreeAt[src] > start {
+		start = s.egressFreeAt[src]
+	}
+	if tr := s.eng.Tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(now), Ph: trace.PhaseCounter,
+			Pid: trace.PidNet, Tid: src, Cat: "net", Name: "egress",
+			K1: "backlog_us", V1: int64(start.Sub(now)) / 1000,
+			K2: "fanout", V2: 1})
+	}
+	tx := s.txTime(size)
+	s.stats.Frames++
+	s.stats.Bytes += int64(size + s.cfg.FrameOverhead)
+	s.stats.BusyTime += tx
+	s.stats.QueueDelay += start.Sub(now)
+	end := start.Add(tx)
+	s.eng.Schedule(end.Add(s.cfg.Latency), func() {
+		s.stats.Delivered++
+		s.handlers[dst](src, payload, now)
+	})
+	s.egressFreeAt[src] = end
+	if onWire != nil {
+		s.eng.Schedule(end, onWire)
+	}
 }
 
 // Multicast sends one copy per destination: a switch has no broadcast
@@ -118,6 +158,10 @@ func (s *Switch) Send(src, dst, size int, payload interface{}) {
 // receiver — the structural difference from the Ethernet that makes
 // all-to-all exchanges scale differently on the two fabrics.
 func (s *Switch) Multicast(src int, dsts []int, size int, payload interface{}, onWire func()) {
+	if len(dsts) == 1 {
+		s.Unicast(src, dsts[0], size, payload, onWire)
+		return
+	}
 	if src < 0 || src >= len(s.handlers) {
 		panic(fmt.Sprintf("netsim: multicast from unknown node %d", src))
 	}

@@ -1,0 +1,66 @@
+package pvm
+
+import (
+	"testing"
+
+	"nscc/internal/netsim"
+	"nscc/internal/sim"
+)
+
+// BenchmarkPingPong measures the full message hot path — send overhead,
+// bus admission, delivery, blocking receive — for b.N round trips
+// between two tasks. This is the per-message cost every experiment
+// cell pays millions of times, so its allocs/op is the number the
+// sweep-level speed rides on.
+func BenchmarkPingPong(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.DefaultConfig())
+	m := NewMachine(eng, net, DefaultConfig())
+	m.Spawn("ping", func(t *Task) {
+		for i := 0; i < b.N; i++ {
+			t.Send(1, 1, 64, nil)
+			t.Recv(1, 2)
+		}
+	})
+	m.Spawn("pong", func(t *Task) {
+		for i := 0; i < b.N; i++ {
+			t.Recv(0, 1)
+			t.Send(0, 2, 64, nil)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBcast measures the shared-medium broadcast path (one frame,
+// many receivers) on an 8-task machine.
+func BenchmarkBcast(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.DefaultConfig())
+	m := NewMachine(eng, net, DefaultConfig())
+	const p = 8
+	m.Spawn("root", func(t *Task) {
+		for i := 0; i < b.N; i++ {
+			t.Bcast(1, 64, nil)
+			for j := 1; j < p; j++ {
+				t.Recv(Any, 2)
+			}
+		}
+	})
+	for j := 1; j < p; j++ {
+		m.Spawn("leaf", func(t *Task) {
+			for i := 0; i < b.N; i++ {
+				t.Recv(0, 1)
+				t.Send(0, 2, 8, nil)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -165,7 +165,9 @@ func (m *Machine) TaskTelemetry() []metrics.TaskTelemetry {
 // Spawn creates a task running fn on a fresh cluster node. Task ids are
 // assigned densely from zero in spawn order.
 func (m *Machine) Spawn(name string, fn func(*Task)) *Task {
-	t := &Task{m: m, id: len(m.tasks)}
+	// The queue is pre-sized for the common few-messages-in-flight case
+	// so steady-state enqueue/dequeue does not grow the backing array.
+	t := &Task{m: m, id: len(m.tasks), queue: make([]*Message, 0, 16)}
 	m.tasks = append(m.tasks, t)
 	t.node = m.net.Attach(name, func(src int, payload interface{}, sentAt sim.Time) {
 		msg := payload.(*Message)
@@ -211,13 +213,14 @@ func (t *Task) SendWithCallback(dst, tag int, size int, data interface{}, onWire
 // over a shared Ethernet: the datagram occupies the medium once however
 // many receivers there are. The sender is charged one send overhead and
 // blocks while its send window is full (transport backpressure).
+// Single-destination sends take the fabric's Unicast path, which skips
+// the destination-slice allocation — the dominant case for the
+// pipelined inference workloads.
 func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire func()) {
-	nodes := make([]int, len(dsts))
-	for i, dst := range dsts {
+	for _, dst := range dsts {
 		if dst < 0 || dst >= len(t.m.tasks) {
 			panic(fmt.Sprintf("pvm: send to unknown task %d", dst))
 		}
-		nodes[i] = t.m.tasks[dst].node
 	}
 	t.proc.Sleep(t.m.cfg.SendOverhead)
 	if w := t.m.cfg.SendWindow; w > 0 && t.inflight >= w {
@@ -230,13 +233,22 @@ func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire
 	msg := &Message{Src: t.id, Tag: tag, Data: data, Size: size, SentAt: t.m.eng.Now()}
 	t.bytesSent += int64(size)
 	t.traceSend(msg)
-	t.m.net.Multicast(t.node, nodes, size, msg, func() {
+	wireDone := func() {
 		t.inflight--
 		t.sendWL.WakeOne()
 		if onWire != nil {
 			onWire()
 		}
-	})
+	}
+	if len(dsts) == 1 {
+		t.m.net.Unicast(t.node, t.m.tasks[dsts[0]].node, size, msg, wireDone)
+	} else {
+		nodes := make([]int, len(dsts))
+		for i, dst := range dsts {
+			nodes[i] = t.m.tasks[dst].node
+		}
+		t.m.net.Multicast(t.node, nodes, size, msg, wireDone)
+	}
 	t.sent++
 }
 

@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive requests must normalize to at least one worker")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("positive requests pass through")
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	called := false
+	for _, w := range []int{0, 1, 8} {
+		if err := Run(0, w, nil, func(int) error { called = true; return nil }); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+	}
+	if called {
+		t.Fatal("fn must not run for an empty sweep")
+	}
+}
+
+func TestRunMoreWorkersThanJobs(t *testing.T) {
+	var ran [3]int32
+	if err := Run(3, 64, nil, func(i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ran {
+		if n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	n := 50
+	out, err := Map(n, 8, nil, func(i int) (int, error) {
+		// Finish out of order so slot placement, not completion order,
+		// is what keeps the output stable.
+		time.Sleep(time.Duration((n-i)%7) * time.Millisecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunErrorCancelsRemainingJobs(t *testing.T) {
+	boom := errors.New("boom")
+	var executed int32
+	err := Run(100, 4, func(i int) string { return fmt.Sprintf("cell-%d", i) }, func(i int) error {
+		atomic.AddInt32(&executed, 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "cell-0") {
+		t.Fatalf("error %q does not name the failing cell", err)
+	}
+	// The error lands while at most the in-flight jobs (one per worker)
+	// run; everything not yet dispatched must be skipped.
+	if n := atomic.LoadInt32(&executed); n > 20 {
+		t.Fatalf("%d jobs executed after an immediate failure; cancellation is not prompt", n)
+	}
+}
+
+func TestRunReportsLowestFailingIndex(t *testing.T) {
+	// Job 7 fails instantly, job 2 fails after a delay: the reported
+	// error must be job 2's regardless of arrival order.
+	err := Run(8, 8, nil, func(i int) error {
+		switch i {
+		case 2:
+			time.Sleep(10 * time.Millisecond)
+			return errors.New("late low-index failure")
+		case 7:
+			return errors.New("early high-index failure")
+		}
+		time.Sleep(20 * time.Millisecond)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "low-index") {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+func TestRunPanicNamesCell(t *testing.T) {
+	label := func(i int) string { return fmt.Sprintf("F%d P=4 trial=%d", i+1, i) }
+	for _, w := range []int{1, 4} {
+		err := Run(3, w, label, func(i int) error {
+			if i == 1 {
+				panic("exploded mid-cell")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not surfaced", w)
+		}
+		for _, want := range []string{"F2 P=4 trial=1", "exploded mid-cell"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("workers=%d: error %q missing %q", w, err, want)
+			}
+		}
+	}
+}
+
+func TestRunSerialAndPooledAgree(t *testing.T) {
+	job := func(i int) (int, error) { return i*31 + 7, nil }
+	a, err := Map(20, 1, nil, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Map(20, 6, nil, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d differs between worker counts", i)
+		}
+	}
+}

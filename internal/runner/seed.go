@@ -1,0 +1,29 @@
+package runner
+
+// DeriveSeed derives a run seed from a base seed and the coordinates of
+// a sweep cell (stream tag, trial, function number, processor count,
+// ...). It replaces the drivers' old inline arithmetic
+// (Seed + trial*7919 + fn.No*31 + p), whose linear combinations
+// collide across cells: trial+1 at p shares a seed with trial at
+// p+7919, and nearby (fn, p) pairs alias within one trial.
+//
+// Each dimension is passed through a SplitMix64 finalizer and folded
+// into a running state that is re-finalized per dimension, so the map
+// from (base, dims...) to seeds behaves like a 64-bit hash: order- and
+// arity-sensitive, with collisions at the birthday bound (~2^-32 for
+// the paper's few-thousand-cell spaces) instead of by construction.
+// Equal inputs give equal seeds, keeping every run reproducible.
+func DeriveSeed(base int64, dims ...int64) int64 {
+	z := mix64(uint64(base) + 0x9E3779B97F4A7C15)
+	for _, d := range dims {
+		z = mix64(z ^ mix64(uint64(d)+0x9E3779B97F4A7C15))
+	}
+	return int64(z)
+}
+
+// mix64 is the SplitMix64 finalizer (a 64-bit bijection).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,56 @@
+package runner
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(2000, 3, 5, 8)
+	b := DeriveSeed(2000, 3, 5, 8)
+	if a != b {
+		t.Fatal("equal inputs must give equal seeds")
+	}
+}
+
+func TestDeriveSeedOrderAndAritySensitive(t *testing.T) {
+	if DeriveSeed(1, 2, 3) == DeriveSeed(1, 3, 2) {
+		t.Fatal("dimension order must matter")
+	}
+	if DeriveSeed(1, 2) == DeriveSeed(1, 2, 0) {
+		t.Fatal("arity must matter")
+	}
+	if DeriveSeed(1) == DeriveSeed(2) {
+		t.Fatal("base must matter")
+	}
+}
+
+// TestDeriveSeedNoLinearCollisions pins the motivating defect: the old
+// linear formula Seed + trial*7919 + fn*31 + p collides by construction
+// (e.g. (trial, fn, p) and (trial, fn+p/31-ish, ...) aliases, and
+// trial+1 aliases a p shifted by 7919). The hash-combined derivation
+// must keep a dense grid far larger than any profile collision-free.
+func TestDeriveSeedNoLinearCollisions(t *testing.T) {
+	const base = 2000
+	seen := make(map[int64][3]int64)
+	for trial := int64(0); trial < 50; trial++ {
+		for fn := int64(1); fn <= 8; fn++ {
+			for p := int64(1); p <= 64; p++ {
+				s := DeriveSeed(base, trial, fn, p)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d,%d) and %v -> %d", trial, fn, p, prev, s)
+				}
+				seen[s] = [3]int64{trial, fn, p}
+			}
+		}
+	}
+}
+
+// The old formula's concrete collision, kept as documentation that the
+// defect was real: trial*7919 aliases p+7919 one trial earlier.
+func TestOldLinearFormulaCollided(t *testing.T) {
+	old := func(seed, trial, fn, p int64) int64 { return seed + trial*7919 + fn*31 + p }
+	if old(2000, 1, 1, 1) != old(2000, 0, 1, 7920) {
+		t.Fatal("expected the documented alias in the old formula")
+	}
+	if DeriveSeed(2000, 1, 1, 1) == DeriveSeed(2000, 0, 1, 7920) {
+		t.Fatal("DeriveSeed must not reproduce the alias")
+	}
+}

@@ -18,6 +18,7 @@ type Engine struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	free   []*event // recycled event objects (see event's doc comment)
 	seed   int64
 	procs  []*Proc
 	nlive  int // spawned but not yet finished processes
@@ -50,7 +51,11 @@ func (e *Engine) Stop() { e.stopReq = true }
 // NewEngine returns an engine whose clock starts at zero. All randomness
 // used by processes derives from seed, so equal seeds give equal runs.
 func NewEngine(seed int64) *Engine {
-	return &Engine{seed: seed}
+	return &Engine{
+		seed:   seed,
+		events: make(eventHeap, 0, 128),
+		free:   make([]*event, 0, 128),
+	}
 }
 
 // Now returns the current virtual time.
@@ -63,13 +68,46 @@ func (e *Engine) Seed() int64 { return e.seed }
 // past is an error the engine reports by panicking: it indicates a
 // causality bug in the model, not a recoverable condition.
 func (e *Engine) Schedule(at Time, fn func()) EventHandle {
+	ev := e.push(at)
+	ev.fn = fn
+	return EventHandle{ev, ev.seq}
+}
+
+// scheduleStep registers a resumption of p at absolute time at, without
+// the closure allocation Schedule would need. This is the path every
+// Sleep and every WaitList wake takes.
+func (e *Engine) scheduleStep(at Time, p *Proc) {
+	e.push(at).proc = p
+}
+
+// push takes an event object from the free list (or allocates one),
+// stamps it, and queues it. fn/proc are left for the caller to fill.
+func (e *Engine) push(at Time) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{}
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq = at, e.seq
 	e.seq++
 	heap.Push(&e.events, ev)
-	return EventHandle{ev}
+	return ev
+}
+
+// recycle returns a fired or skipped event to the free list. The
+// object's seq stays behind until the next push re-stamps it, which is
+// what lets stale EventHandles detect that their event is gone.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	e.free = append(e.free, ev)
 }
 
 // After registers fn to run d from now.
@@ -111,6 +149,7 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 		ev := heap.Pop(&e.events).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
@@ -121,7 +160,15 @@ func (e *Engine) RunUntil(deadline Time) error {
 			e.tracer.Emit(trace.Event{TS: int64(e.now), Ph: trace.PhaseInstant,
 				Pid: trace.PidSim, Cat: "sim", Name: "event", K1: "seq", V1: int64(ev.seq)})
 		}
-		ev.fn()
+		// Detach the payload and recycle before firing: the callback may
+		// schedule (and thereby reuse) freely.
+		fn, p := ev.fn, ev.proc
+		e.recycle(ev)
+		if p != nil {
+			e.step(p)
+		} else {
+			fn()
+		}
 	}
 	if deadline == Forever && e.nlive > 0 {
 		return fmt.Errorf("%w: %s", ErrDeadlock, e.stuckProcs())

@@ -5,21 +5,36 @@ import "container/heap"
 // event is a scheduled callback. Events with equal times fire in the
 // order they were scheduled (seq breaks ties), which keeps runs
 // deterministic.
+//
+// Fired and canceled events are recycled through the engine's free
+// list: Schedule/scheduleStep is the hottest allocation site in the
+// simulator (every Sleep, wake and network frame goes through it), so
+// the steady state runs allocation-free. A process resumption is
+// stored as the proc pointer itself rather than a `func() { step(p) }`
+// closure, which removes the second per-wakeup allocation.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc // when non-nil, fire by stepping this process (fn is nil)
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
 }
 
 // EventHandle allows a scheduled event to be canceled before it fires.
-type EventHandle struct{ ev *event }
+// The handle remembers the event's sequence number: once the event has
+// fired and its object has been recycled for a later schedule, a stale
+// handle no longer matches and Cancel is a no-op instead of killing an
+// unrelated event.
+type EventHandle struct {
+	ev  *event
+	seq uint64
+}
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op.
 func (h EventHandle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && h.ev.seq == h.seq {
 		h.ev.canceled = true
 	}
 }

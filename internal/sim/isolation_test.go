@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"nscc/internal/trace"
+)
+
+// TestTracerPerEngine runs several traced engines concurrently and
+// checks each recorder saw exactly its own engine's events. Tracer
+// state lives on the Engine, so concurrent sweep cells must not bleed
+// events (or data races, under -race) into each other.
+func TestTracerPerEngine(t *testing.T) {
+	const n = 4
+	recs := make([]*trace.Recorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		recs[i] = trace.NewRecorder()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := NewEngine(1)
+			eng.SetTracer(recs[i])
+			// i+1 sleepers so each engine has a distinct event count.
+			for s := 0; s <= i; s++ {
+				eng.Spawn("sleeper", func(p *Proc) {
+					for k := 0; k < 10; k++ {
+						p.Sleep(Microsecond)
+					}
+				})
+			}
+			if err := eng.Run(); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var want []int
+	for i := 0; i < n; i++ {
+		want = append(want, recs[i].Len())
+		if recs[i].Len() == 0 {
+			t.Fatalf("engine %d recorded no events", i)
+		}
+	}
+	// Re-run the same workloads serially; counts must match exactly.
+	for i := 0; i < n; i++ {
+		rec := trace.NewRecorder()
+		eng := NewEngine(1)
+		eng.SetTracer(rec)
+		for s := 0; s <= i; s++ {
+			eng.Spawn("sleeper", func(p *Proc) {
+				for k := 0; k < 10; k++ {
+					p.Sleep(Microsecond)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Len() != want[i] {
+			t.Errorf("engine %d: concurrent run recorded %d events, serial run %d", i, want[i], rec.Len())
+		}
+	}
+}

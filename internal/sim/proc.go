@@ -59,7 +59,7 @@ func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.Schedule(e.now, func() { e.step(p) })
+	e.scheduleStep(e.now, p)
 	return p
 }
 
@@ -98,7 +98,7 @@ func (p *Proc) wake() {
 		t.Emit(trace.Event{TS: int64(p.eng.now), Ph: trace.PhaseInstant,
 			Pid: trace.PidSim, Tid: p.id, Cat: "sim", Name: "wake"})
 	}
-	p.eng.Schedule(p.eng.now, func() { p.eng.step(p) })
+	p.eng.scheduleStep(p.eng.now, p)
 }
 
 // Engine returns the engine the process runs on.
@@ -122,7 +122,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.Schedule(p.eng.now.Add(d), func() { p.eng.step(p) })
+	p.eng.scheduleStep(p.eng.now.Add(d), p)
 	p.park()
 }
 
@@ -132,7 +132,7 @@ func (p *Proc) SleepUntil(t Time) {
 	if t <= p.eng.now {
 		return
 	}
-	p.eng.Schedule(t, func() { p.eng.step(p) })
+	p.eng.scheduleStep(t, p)
 	p.park()
 }
 
