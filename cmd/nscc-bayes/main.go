@@ -11,7 +11,9 @@ import (
 
 	"nscc/internal/bayes"
 	"nscc/internal/core"
+	"nscc/internal/faults"
 	"nscc/internal/netsim"
+	"nscc/internal/sim"
 	"nscc/internal/trace"
 	"nscc/internal/traceio"
 )
@@ -32,6 +34,9 @@ func main() {
 		batch    = flag.Int64("batch", 0, "update-batching depth (0 = mode default)")
 		trOut    = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
 		metOut   = flag.String("metrics-out", "", "write the run's telemetry JSON to this file")
+		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
+		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
+		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -74,6 +79,16 @@ func main() {
 		Seed: *seed, Calib: calib, LoaderBps: *load,
 		RandomDefaults: *randDef,
 		Batch:          *batch,
+		Reliable:       *reliable,
+	}
+	cfg.ReadTimeout = sim.Duration(readTo.Nanoseconds())
+	if *faultsF != "" {
+		plan, err := faults.LoadFile(*faultsF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
 	}
 	if *swFabric {
 		sw := netsim.DefaultSwitchConfig()

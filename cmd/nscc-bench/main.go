@@ -5,6 +5,7 @@
 //	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4] [-profile quick|full]
 //	           [-trials N] [-gens N] [-procs 2,4,8,16] [-funcs 1,2,...] [-seed N]
 //	           [-workers N] [-bench-out BENCH_name.json]
+//	           [-faults plan.json] [-reliable] [-read-timeout 50ms] [-loss P]
 //
 // The quick profile runs the full experimental structure at reduced
 // trial counts and generation budgets; the full profile is paper scale
@@ -26,8 +27,10 @@ import (
 
 	"nscc/internal/benchio"
 	"nscc/internal/exper"
+	"nscc/internal/faults"
 	"nscc/internal/ga/functions"
 	"nscc/internal/runner"
+	"nscc/internal/sim"
 	"nscc/internal/trace"
 	"nscc/internal/traceio"
 )
@@ -47,6 +50,10 @@ func main() {
 		metOut   = flag.String("metrics-out", "", "run the instrumented demo instead of the suite and write its telemetry JSON here")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "", "write a BENCH_*.json performance snapshot to this path")
+		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to every simulated cluster")
+		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
+		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
+		lossProb = flag.Float64("loss", 0, "override the Ethernet model's per-frame loss probability")
 	)
 	flag.Parse()
 
@@ -68,6 +75,21 @@ func main() {
 	}
 	opts.UseSwitch = *useSw
 	opts.Workers = *workers
+	if *faultsF != "" {
+		plan, err := faults.LoadFile(*faultsF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Faults = plan
+	}
+	opts.Reliable = *reliable
+	opts.ReadTimeout = sim.Duration(readTo.Nanoseconds())
+	if *lossProb < 0 || *lossProb > 1 {
+		fmt.Fprintf(os.Stderr, "-loss must be in [0,1]\n")
+		os.Exit(2)
+	}
+	opts.LossProb = *lossProb
 	if *procs != "" {
 		opts.Procs = nil
 		for _, s := range strings.Split(*procs, ",") {

@@ -11,9 +11,11 @@ import (
 	"os"
 
 	"nscc/internal/core"
+	"nscc/internal/faults"
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/netsim"
+	"nscc/internal/sim"
 	"nscc/internal/trace"
 	"nscc/internal/traceio"
 )
@@ -35,6 +37,9 @@ func main() {
 		dynAge   = flag.Bool("dynage", false, "adapt the Global_Read age at run time")
 		trOut    = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
 		metOut   = flag.String("metrics-out", "", "write the run's telemetry JSON to this file")
+		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
+		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
+		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -54,6 +59,16 @@ func main() {
 		Interval:   *interval,
 		DynamicAge: *dynAge,
 		NodeOpts:   core.Options{Window: *window, Coalesce: *window > 0},
+		Reliable:   *reliable,
+	}
+	cfg.ReadTimeout = sim.Duration(readTo.Nanoseconds())
+	if *faultsF != "" {
+		plan, err := faults.LoadFile(*faultsF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
 	}
 	switch *topology {
 	case "broadcast":

@@ -13,18 +13,23 @@ import (
 	"os"
 
 	"nscc/internal/core"
+	"nscc/internal/faults"
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/report"
+	"nscc/internal/sim"
 )
 
 func main() {
 	var (
-		fnNo  = flag.Int("func", 1, "test function number (1..8)")
-		procs = flag.Int("procs", 16, "number of islands / processors")
-		gens  = flag.Int64("gens", 150, "generation budget")
-		load  = flag.Float64("load", 0, "background loader rate in bits/s")
-		seed  = flag.Int64("seed", 1, "random seed")
+		fnNo     = flag.Int("func", 1, "test function number (1..8)")
+		procs    = flag.Int("procs", 16, "number of islands / processors")
+		gens     = flag.Int64("gens", 150, "generation budget")
+		load     = flag.Float64("load", 0, "background loader rate in bits/s")
+		seed     = flag.Int64("seed", 1, "random seed")
+		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
+		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
+		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -35,6 +40,16 @@ func main() {
 		Fn: fn, Par: par, P: *procs,
 		FixedGens: *gens, MinGens: *gens, MaxGens: 4 * *gens,
 		Seed: *seed, Calib: calib, LoaderBps: *load,
+		Reliable:    *reliable,
+		ReadTimeout: sim.Duration(readTo.Nanoseconds()),
+	}
+	if *faultsF != "" {
+		plan, err := faults.LoadFile(*faultsF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		base.Faults = plan
 	}
 
 	syncCfg := base

@@ -11,9 +11,12 @@ import (
 	"nscc/internal/bayes"
 	"nscc/internal/core"
 	"nscc/internal/exper"
+	"nscc/internal/faults"
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/netsim"
+	"nscc/internal/sim"
+	"nscc/internal/trace"
 )
 
 // TestEndToEndGAOrdering runs the three GA disciplines through the full
@@ -137,6 +140,45 @@ func TestEndToEndExperimentDeterminism(t *testing.T) {
 		if a.Speedup[v] != b.Speedup[v] {
 			t.Fatalf("experiment cell not deterministic at %v", v)
 		}
+	}
+}
+
+// TestEndToEndChaosGA drives the full stack — engine, fault injector,
+// reliable transport, DSM with bounded reads, application, telemetry,
+// tracing — under a seeded random fault plan and asserts the
+// cross-layer contracts: the run completes, the staleness histogram
+// never exceeds the age bound, the violation counter reconciles across
+// telemetry layers, and the fault events surface in the trace stream.
+func TestEndToEndChaosGA(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := ga.IslandConfig{
+		Fn: functions.F1, Par: ga.DeJongParams(), P: 4,
+		Mode: core.NonStrict, Age: 10,
+		FixedGens: 40, MinGens: 40, MaxGens: 160,
+		Seed: 23, Calib: ga.DefaultCalibration(),
+
+		Faults:      faults.RandomPlan(23, 4, 2.0),
+		Reliable:    true,
+		ReadTimeout: 50 * sim.Millisecond,
+		Tracer:      rec,
+	}
+	res, err := ga.RunIsland(cfg)
+	if err != nil {
+		t.Fatalf("chaos run did not complete: %v", err)
+	}
+	if max := res.Telemetry.Staleness.Max; max > cfg.Age {
+		t.Errorf("staleness bound broken end to end: observed %d > age %d", max, cfg.Age)
+	}
+	var perTask int64
+	for _, tt := range res.Telemetry.Tasks {
+		perTask += tt.ReadTimeouts
+	}
+	if perTask != res.Telemetry.StalenessViolations {
+		t.Errorf("StalenessViolations %d != per-task sum %d",
+			res.Telemetry.StalenessViolations, perTask)
+	}
+	if n := rec.CountBy(func(ev *trace.Event) bool { return ev.Pid == trace.PidFaults }); n == 0 {
+		t.Error("no fault events reached the trace stream")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"nscc/internal/core"
+	"nscc/internal/faults"
 	"nscc/internal/metrics"
 	"nscc/internal/netsim"
 	"nscc/internal/partition"
@@ -81,6 +82,17 @@ type ParallelConfig struct {
 	SwitchCfg *netsim.SwitchConfig
 	PVM       *pvm.Config
 	LoaderBps float64
+
+	// Faults, if non-nil, wraps the fabric in the fault injector and
+	// applies the plan's schedules to the run (strictly opt-in).
+	Faults *faults.Plan
+	// Reliable runs the message layer with sequence-numbered
+	// ack/retransmit delivery (pvm.Config.Reliable).
+	Reliable bool
+	// ReadTimeout, if positive, bounds Global_Read blocking
+	// (core.Options.ReadTimeout) so a lost update degrades the read
+	// instead of deadlocking the partition.
+	ReadTimeout sim.Duration
 	// RandomDefaults replaces the most-probable-state defaults with
 	// arbitrary fixed states (ablation: the paper derives defaults from
 	// the nodes' probability distributions so gambles usually pay off).
@@ -305,9 +317,15 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 		}
 		net = netsim.New(eng, netCfg)
 	}
+	if cfg.Faults != nil {
+		net = faults.Wrap(net, cfg.Faults)
+	}
 	pvmCfg := pvm.DefaultConfig()
 	if cfg.PVM != nil {
 		pvmCfg = *cfg.PVM
+	}
+	if cfg.Reliable {
+		pvmCfg.Reliable = true
 	}
 	machine := pvm.NewMachine(eng, net, pvmCfg)
 	warp := metrics.NewWarpMeter()
@@ -392,7 +410,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 		machine.Spawn("part", func(task *pvm.Task) {
 			w.task = task
 			w.jit = cfg.Calib.NewJitterer(task.Proc().Rng())
-			w.node = core.NewNode(task, core.Options{Observer: w.observe})
+			w.node = core.NewNode(task, core.Options{Observer: w.observe, ReadTimeout: cfg.ReadTimeout})
 			for _, ls := range topo.bundleLocs {
 				for _, l := range ls {
 					w.node.Register(l)
@@ -447,23 +465,27 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	res.WarpWindows = warpSeries.Windows()
 
 	tasks := machine.TaskTelemetry()
+	var violations int64
 	for i := range tasks {
 		if i < len(coreStats) {
 			cs := coreStats[i]
 			tasks[i].GlobalReads = cs.GlobalReads
 			tasks[i].BlockedReads = cs.BlockedReads
 			tasks[i].BlockedSecs = cs.BlockedTime.Seconds()
+			tasks[i].ReadTimeouts = cs.ReadTimeouts
+			violations += cs.ReadTimeouts
 		}
 	}
 	res.Telemetry = &metrics.Telemetry{
-		Variant:        cfg.Mode.String(),
-		Age:            cfg.Age,
-		CompletionSecs: res.Completion.Seconds(),
-		Tasks:          tasks,
-		Net:            st.Telemetry(eng.Now().Sub(0)),
-		Staleness:      staleHist.Summary(),
-		WarpMean:       res.WarpMean,
-		WarpMax:        res.WarpMax,
+		Variant:             cfg.Mode.String(),
+		Age:                 cfg.Age,
+		CompletionSecs:      res.Completion.Seconds(),
+		Tasks:               tasks,
+		Net:                 st.Telemetry(eng.Now().Sub(0)),
+		Staleness:           staleHist.Summary(),
+		WarpMean:            res.WarpMean,
+		WarpMax:             res.WarpMax,
+		StalenessViolations: violations,
 	}
 	return res, nil
 }

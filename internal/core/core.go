@@ -131,6 +131,17 @@ type Options struct {
 	// not belong here: set a trace.Tracer on the engine instead, and the
 	// node emits an "update" instant for the same stream.
 	Observer func(locID int, u Update)
+	// ReadTimeout bounds how long a Global_Read may block. When the
+	// deadline passes without a sufficiently fresh value, the read
+	// degrades gracefully: it returns the freshest cached value (Iter
+	// NoValue if none has ever arrived) and counts a staleness
+	// violation in Stats.ReadTimeouts, instead of blocking forever on
+	// an update the network may have lost. Zero keeps the paper's
+	// unbounded blocking wait. Timed-out reads are excluded from the
+	// staleness histogram: the histogram documents the bound the
+	// primitive *honored*, the violation counter documents when it
+	// could not.
+	ReadTimeout sim.Duration
 }
 
 // Stats counts a node's DSM activity.
@@ -145,6 +156,7 @@ type Stats struct {
 	Requests     int64        // solicitations sent (request-based mode)
 	StaleSum     int64        // sum over Global_Reads of (curIter - returned Iter)
 	StaleMax     int64        // max staleness returned by any Global_Read
+	ReadTimeouts int64        // Global_Reads that hit Options.ReadTimeout and degraded
 }
 
 type outboxEntry struct {
@@ -374,8 +386,20 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 		n.task.Send(loc.Writer, RequestTag, requestMsgSize, &reqMsg{Loc: loc.ID, MinIter: minIter})
 		n.stats.Requests++
 	}
+	var deadline sim.Time
+	if n.opts.ReadTimeout > 0 {
+		deadline = start.Add(n.opts.ReadTimeout)
+	}
 	for {
-		m := n.task.Recv(pvm.Any, UpdateTag)
+		var m *pvm.Message
+		if n.opts.ReadTimeout > 0 {
+			m = n.task.RecvTimeout(pvm.Any, UpdateTag, deadline.Sub(n.task.Now()))
+			if m == nil {
+				return n.degradeRead(loc, start)
+			}
+		} else {
+			m = n.task.Recv(pvm.Any, UpdateTag)
+		}
 		n.apply(m.Data.(*updateMsg))
 		if u, ok := n.buf[loc.ID]; ok && u.Iter >= minIter {
 			end := n.task.Now()
@@ -384,6 +408,28 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 			return u
 		}
 	}
+}
+
+// degradeRead finishes a Global_Read whose ReadTimeout expired: the
+// staleness bound could not be met, so the read returns the freshest
+// cached value (Iter NoValue if none exists) and records a violation.
+// The observed staleness deliberately stays out of the histogram — the
+// histogram states the bound the primitive honored; the counter states
+// how often it could not.
+func (n *Node) degradeRead(loc *Location, start sim.Time) Update {
+	end := n.task.Now()
+	n.stats.BlockedTime += end.Sub(start)
+	n.stats.ReadTimeouts++
+	if tr := n.tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(end), Ph: trace.PhaseInstant,
+			Pid: trace.PidCore, Tid: n.task.ID(), Cat: "core", Name: "read_timeout",
+			K1: "loc", V1: int64(loc.ID)})
+	}
+	n.traceRead(start, end.Sub(start), loc, -1)
+	if u, ok := n.buf[loc.ID]; ok {
+		return u
+	}
+	return Update{Iter: NoValue}
 }
 
 // recordStaleness accounts one Global_Read's observed staleness and

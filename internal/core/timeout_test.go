@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"nscc/internal/faults"
+	"nscc/internal/netsim"
+	"nscc/internal/pvm"
+	"nscc/internal/sim"
+)
+
+// blackoutMachine builds a machine whose fabric drops every frame —
+// the scenario the read timeout exists for: an update the network
+// lost and will never redeliver.
+func blackoutMachine(seed int64) (*sim.Engine, *pvm.Machine) {
+	eng := sim.NewEngine(seed)
+	plan := &faults.Plan{Loss: []faults.LossBurst{
+		{From: 0, To: 1e6, Prob: 1, Src: faults.AnyNode, Dst: faults.AnyNode},
+	}}
+	net := faults.Wrap(netsim.New(eng, netsim.DefaultConfig()), plan)
+	return eng, pvm.NewMachine(eng, net, pvm.DefaultConfig())
+}
+
+// TestDroppedUpdateBlocksGlobalReadForever is the liveness regression
+// this PR's timeout path exists to fix: on an unreliable fabric, one
+// lost update leaves the paper's blocking Global_Read parked with no
+// wake-up ever coming, and the engine reports the deadlock.
+func TestDroppedUpdateBlocksGlobalReadForever(t *testing.T) {
+	eng, m := blackoutMachine(1)
+	loc := &Location{ID: 1, Name: "x", Writer: 1, Readers: []int{0}, Size: 128}
+	m.Spawn("reader", func(task *pvm.Task) {
+		n := NewNode(task, Options{}) // no timeout: the paper's semantics
+		n.Register(loc)
+		n.GlobalRead(loc, 1, 0) // needs iter >= 1, which was dropped
+		t.Error("Global_Read returned despite the lost update")
+	})
+	m.Spawn("writer", func(task *pvm.Task) {
+		n := NewNode(task, Options{})
+		n.Register(loc)
+		task.Compute(sim.Millisecond)
+		n.Write(loc, 1, "lost")
+	})
+	if err := eng.Run(); !errors.Is(err, sim.ErrDeadlock) {
+		t.Fatalf("Run() = %v, want ErrDeadlock", err)
+	}
+}
+
+// TestReadTimeoutDegradesGracefully is the same scenario with
+// Options.ReadTimeout set: the read returns at its deadline with the
+// freshest cached value (NoValue here — nothing ever arrived), the
+// violation is counted, and the run completes instead of deadlocking.
+func TestReadTimeoutDegradesGracefully(t *testing.T) {
+	eng, m := blackoutMachine(1)
+	loc := &Location{ID: 1, Name: "x", Writer: 1, Readers: []int{0}, Size: 128}
+	var got Update
+	var retAt sim.Time
+	var stats Stats
+	m.Spawn("reader", func(task *pvm.Task) {
+		n := NewNode(task, Options{ReadTimeout: 50 * sim.Millisecond})
+		n.Register(loc)
+		got = n.GlobalRead(loc, 1, 0)
+		retAt = task.Now()
+		stats = n.Stats()
+	})
+	m.Spawn("writer", func(task *pvm.Task) {
+		n := NewNode(task, Options{})
+		n.Register(loc)
+		task.Compute(sim.Millisecond)
+		n.Write(loc, 1, "lost")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("timed-out run did not complete: %v", err)
+	}
+	if got.Iter != NoValue {
+		t.Fatalf("degraded read returned %+v, want Iter NoValue", got)
+	}
+	if retAt < sim.Time(50*sim.Millisecond) {
+		t.Fatalf("read returned at %v, before its 50ms deadline", retAt)
+	}
+	if stats.ReadTimeouts != 1 {
+		t.Fatalf("ReadTimeouts = %d, want 1", stats.ReadTimeouts)
+	}
+	if stats.GlobalReads != 1 {
+		t.Fatalf("GlobalReads = %d, want 1", stats.GlobalReads)
+	}
+}
+
+// TestReadTimeoutReturnsCachedValue: when an older update did arrive
+// before the blackout, the degraded read returns it rather than
+// NoValue — "freshest cached value" semantics.
+func TestReadTimeoutReturnsCachedValue(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// Blackout only from 10 ms on: the iteration-1 update gets through,
+	// the iteration-2 update dies.
+	plan := &faults.Plan{Loss: []faults.LossBurst{
+		{From: 0.010, To: 1e6, Prob: 1, Src: faults.AnyNode, Dst: faults.AnyNode},
+	}}
+	net := faults.Wrap(netsim.New(eng, netsim.DefaultConfig()), plan)
+	m := pvm.NewMachine(eng, net, pvm.DefaultConfig())
+	loc := &Location{ID: 1, Name: "x", Writer: 1, Readers: []int{0}, Size: 128}
+	var got Update
+	var stats Stats
+	m.Spawn("reader", func(task *pvm.Task) {
+		n := NewNode(task, Options{ReadTimeout: 50 * sim.Millisecond})
+		n.Register(loc)
+		task.Compute(20 * sim.Millisecond) // let iteration 1 land
+		got = n.GlobalRead(loc, 2, 0)      // wants iter >= 2: never arrives
+		stats = n.Stats()
+	})
+	m.Spawn("writer", func(task *pvm.Task) {
+		n := NewNode(task, Options{})
+		n.Register(loc)
+		task.Compute(sim.Millisecond)
+		n.Write(loc, 1, "cached")
+		task.Compute(30 * sim.Millisecond)
+		n.Write(loc, 2, "lost")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("run did not complete: %v", err)
+	}
+	if got.Iter != 1 || got.Value != "cached" {
+		t.Fatalf("degraded read returned %+v, want the cached iteration-1 value", got)
+	}
+	if stats.ReadTimeouts != 1 {
+		t.Fatalf("ReadTimeouts = %d, want 1", stats.ReadTimeouts)
+	}
+}
+
+// TestReadTimeoutIrrelevantWhenFresh: a satisfiable read under a
+// timeout behaves exactly as without one and records no violation.
+func TestReadTimeoutIrrelevantWhenFresh(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.DefaultConfig())
+	m := pvm.NewMachine(eng, net, pvm.DefaultConfig())
+	loc := &Location{ID: 1, Name: "x", Writer: 1, Readers: []int{0}, Size: 128}
+	var got Update
+	var stats Stats
+	m.Spawn("reader", func(task *pvm.Task) {
+		n := NewNode(task, Options{ReadTimeout: 50 * sim.Millisecond})
+		n.Register(loc)
+		got = n.GlobalRead(loc, 1, 0)
+		stats = n.Stats()
+	})
+	m.Spawn("writer", func(task *pvm.Task) {
+		n := NewNode(task, Options{})
+		n.Register(loc)
+		task.Compute(sim.Millisecond)
+		n.Write(loc, 1, "fresh")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != "fresh" || got.Iter != 1 {
+		t.Fatalf("got %+v", got)
+	}
+	if stats.ReadTimeouts != 0 {
+		t.Fatalf("ReadTimeouts = %d on a satisfied read", stats.ReadTimeouts)
+	}
+}

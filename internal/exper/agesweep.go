@@ -78,6 +78,8 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			syncCfg := ga.IslandConfig{
 				Fn: fn, Par: par, P: p, Mode: core.Sync,
 				FixedGens: opts.SyncGens, Seed: seed, Calib: calib, LoaderBps: load,
+				Net:    opts.netOverride(),
+				Faults: opts.Faults, Reliable: opts.Reliable, ReadTimeout: opts.ReadTimeout,
 			}
 			if opts.UseSwitch {
 				sw := netsim.DefaultSwitchConfig()
@@ -128,6 +130,8 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				Target:  refs[li*nTrials+trial].target,
 				Seed:    seed, Calib: calib, LoaderBps: loads[li],
 				DynamicAge: dynamic,
+				Net:        opts.netOverride(),
+				Faults:     opts.Faults, Reliable: opts.Reliable, ReadTimeout: opts.ReadTimeout,
 			}
 			if opts.UseSwitch {
 				sw := netsim.DefaultSwitchConfig()

@@ -1,0 +1,74 @@
+package exper
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nscc/internal/faults"
+	"nscc/internal/ga/functions"
+	"nscc/internal/sim"
+)
+
+// chaosOpts is a reduced sweep profile with the fault stack fully on:
+// a random-but-seeded plan over every cell, reliable transport, and
+// bounded reads.
+func chaosOpts(workers int) Options {
+	opts := Quick()
+	opts.Trials = 1
+	opts.SyncGens = 30
+	opts.Procs = []int{2}
+	opts.Workers = workers
+	opts.Faults = faults.RandomPlan(17, 2, 2.0)
+	opts.Reliable = true
+	opts.ReadTimeout = 50 * sim.Millisecond
+	return opts
+}
+
+// TestChaosSweepWorkerInvariance is the acceptance criterion that
+// identical (seed, plan) pairs produce byte-identical output at any
+// -workers count, exercised through the full experiment driver with
+// faults active.
+func TestChaosSweepWorkerInvariance(t *testing.T) {
+	run := func(workers int) (Figure2Result, string) {
+		var buf bytes.Buffer
+		res, err := Figure2(&buf, chaosOpts(workers), []*functions.Function{functions.F1})
+		if err != nil {
+			t.Fatalf("Figure2(workers=%d) under faults: %v", workers, err)
+		}
+		return res, buf.String()
+	}
+	serial, serialText := run(1)
+	pooled, pooledText := run(4)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("faulted Figure2 result structs differ between workers=1 and workers=4:\n%+v\nvs\n%+v",
+			serial, pooled)
+	}
+	if serialText != pooledText {
+		t.Errorf("faulted Figure2 tables differ between workers=1 and workers=4:\n%s\nvs\n%s",
+			serialText, pooledText)
+	}
+}
+
+// TestChaosSweepDisabledFaultsIdentical pins the opt-in contract at
+// the driver level: an explicitly empty plan plus Reliable/timeout off
+// renders output byte-identical to the untouched driver.
+func TestChaosSweepDisabledFaultsIdentical(t *testing.T) {
+	base := Quick()
+	base.Trials = 1
+	base.SyncGens = 30
+	base.Procs = []int{2}
+	run := func(opts Options) string {
+		var buf bytes.Buffer
+		if _, err := Figure2(&buf, opts, []*functions.Function{functions.F1}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	plain := run(base)
+	wrapped := base
+	wrapped.Faults = &faults.Plan{} // empty plan: injector wraps but must not perturb
+	if got := run(wrapped); got != plain {
+		t.Errorf("empty fault plan changed driver output:\n%s\nvs\n%s", got, plain)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"nscc/internal/core"
+	"nscc/internal/faults"
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/netsim"
@@ -65,6 +66,31 @@ type Options struct {
 	// workers (<1 = one per CPU). Results are aggregated in cell order,
 	// so output is byte-identical at any worker count.
 	Workers int
+	// Faults, if non-nil, applies the same fault plan to every simulated
+	// cluster in the sweeps. Strictly opt-in: nil leaves every cell
+	// byte-identical to the fault-free suite.
+	Faults *faults.Plan
+	// Reliable runs the message layer of every cell with
+	// sequence-numbered ack/retransmit delivery.
+	Reliable bool
+	// ReadTimeout, if positive, bounds Global_Read blocking in every
+	// cell; timed-out reads degrade to the cached value and count as
+	// staleness violations.
+	ReadTimeout sim.Duration
+	// LossProb, if positive, overrides the network model's independent
+	// per-frame loss probability (the lossy-Ethernet recipe).
+	LossProb float64
+}
+
+// netOverride returns the bus config override the fault knobs imply,
+// or nil when the defaults stand.
+func (o Options) netOverride() *netsim.Config {
+	if o.LossProb <= 0 {
+		return nil
+	}
+	nc := netsim.DefaultConfig()
+	nc.LossProb = o.LossProb
+	return &nc
 }
 
 // Seed streams keep the drivers' cell spaces disjoint: every call site
@@ -155,12 +181,16 @@ func gaTrial(fn *functions.Function, p int, seed int64, opts Options, loadBps fl
 
 	base := ga.IslandConfig{
 		Fn: fn, Par: par, P: p,
-		FixedGens: opts.SyncGens,
-		MinGens:   opts.SyncGens,
-		MaxGens:   int64(opts.CapFactor * float64(opts.SyncGens)),
-		Seed:      seed,
-		Calib:     calib,
-		LoaderBps: loadBps,
+		FixedGens:   opts.SyncGens,
+		MinGens:     opts.SyncGens,
+		MaxGens:     int64(opts.CapFactor * float64(opts.SyncGens)),
+		Seed:        seed,
+		Calib:       calib,
+		LoaderBps:   loadBps,
+		Net:         opts.netOverride(),
+		Faults:      opts.Faults,
+		Reliable:    opts.Reliable,
+		ReadTimeout: opts.ReadTimeout,
 	}
 	if opts.UseSwitch {
 		sw := netsim.DefaultSwitchConfig()

@@ -239,10 +239,14 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 				cfg := bayes.ParallelConfig{
 					Net: bn, Query: q, P: 2,
 					Mode: v.Mode, Age: v.Age,
-					Precision: opts.Precision,
-					MaxIters:  bayesMaxIters(opts),
-					Seed:      seed,
-					Calib:     calib,
+					Precision:   opts.Precision,
+					MaxIters:    bayesMaxIters(opts),
+					Seed:        seed,
+					Calib:       calib,
+					NetCfg:      opts.netOverride(),
+					Faults:      opts.Faults,
+					Reliable:    opts.Reliable,
+					ReadTimeout: opts.ReadTimeout,
 				}
 				pr, err := bayes.RunParallel(cfg)
 				if err != nil {

@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParsePlan hammers the plan loader with arbitrary bytes. The
+// contract under fuzzing: never panic, and any plan that parses must
+// (a) pass structural validation — ParsePlan promised as much — and
+// (b) survive a marshal/parse round trip with its schedule intact, so
+// a saved plan file always reloads to the same chaos.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"name":"lossy-ethernet","seed":7,"loss":[{"from":0,"to":2,"prob":0.3}]}`,
+		`{"loss":[{"from":0,"to":1,"prob":1,"src":0,"dst":1}]}`,
+		`{"delays":[{"from":0.5,"to":1.5,"delay":0.002,"jitter":0.001}]}`,
+		`{"reorders":[{"from":0,"to":1,"prob":0.5,"max_delay":0.01}]}`,
+		`{"duplicates":[{"from":0,"to":2,"prob":0.2}]}`,
+		`{"crashes":[{"node":1,"from":0.2,"to":0.4}]}`,
+		`{"partitions":[{"from":1,"to":1.5,"group_a":[0],"group_b":[1,2]}]}`,
+		// Malformed documents the parser must reject cleanly.
+		`{"loss":[{"from":-1,"to":1,"prob":0.5}]}`,
+		`{"loss":[{"from":0,"to":1,"prob":2}]}`,
+		`{"crashes":[{"node":1,"from":0,"to":2},{"node":1,"from":1,"to":3}]}`,
+		`{"unknown_field":true}`,
+		`{} trailing`,
+		`not json at all`,
+		`[1,2,3]`,
+		`{"loss":[{"from":1e308,"to":1e309,"prob":0.5}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(0); verr != nil {
+			t.Fatalf("ParsePlan accepted a plan Validate(0) rejects: %v\ninput: %q", verr, data)
+		}
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted plan does not re-marshal: %v", err)
+		}
+		q, err := ParsePlan(out)
+		if err != nil {
+			t.Fatalf("round trip does not re-parse: %v\nmarshaled: %s", err, out)
+		}
+		if len(q.Loss) != len(p.Loss) || len(q.Delays) != len(p.Delays) ||
+			len(q.Reorders) != len(p.Reorders) || len(q.Duplicates) != len(p.Duplicates) ||
+			len(q.Crashes) != len(p.Crashes) || len(q.Partitions) != len(p.Partitions) {
+			t.Fatalf("round trip changed the schedule: %+v vs %+v", p, q)
+		}
+	})
+}

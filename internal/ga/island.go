@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"nscc/internal/core"
+	"nscc/internal/faults"
 	"nscc/internal/ga/functions"
 	"nscc/internal/metrics"
 	"nscc/internal/netsim"
@@ -113,6 +114,21 @@ type IslandConfig struct {
 	// PVM overrides the messaging overheads (nil = pvm.DefaultConfig()).
 	PVM *pvm.Config
 
+	// Faults, if non-nil, wraps the fabric in the fault injector and
+	// applies the plan's loss/delay/reorder/duplicate/crash/partition
+	// schedules to the run. Nil leaves the fabric untouched (the
+	// fault layer is strictly opt-in).
+	Faults *faults.Plan
+	// Reliable runs the message layer with sequence-numbered
+	// ack/retransmit delivery (pvm.Config.Reliable). It composes with
+	// PVM: when both are set, Reliable overrides the override's flag.
+	Reliable bool
+	// ReadTimeout, if positive, bounds Global_Read blocking
+	// (core.Options.ReadTimeout): a read that cannot meet its bound in
+	// time degrades to the cached value and counts a staleness
+	// violation instead of deadlocking on a lost update.
+	ReadTimeout sim.Duration
+
 	// Tracer, if set, receives the run's full event stream (sim process
 	// lifecycle, network frames, messages, Global_Reads, per-generation
 	// app spans). Nil keeps every hot path on its zero-cost branch.
@@ -170,9 +186,15 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 		}
 		net = netsim.New(eng, netCfg)
 	}
+	if cfg.Faults != nil {
+		net = faults.Wrap(net, cfg.Faults)
+	}
 	pvmCfg := pvm.DefaultConfig()
 	if cfg.PVM != nil {
 		pvmCfg = *cfg.PVM
+	}
+	if cfg.Reliable {
+		pvmCfg.Reliable = true
 	}
 	machine := pvm.NewMachine(eng, net, pvmCfg)
 	warp := metrics.NewWarpMeter()
@@ -183,6 +205,10 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	}
 	if cfg.LoaderBps > 0 {
 		netsim.StartLoader(net, cfg.LoaderBps, 1024)
+	}
+	nodeOpts := cfg.NodeOpts
+	if cfg.ReadTimeout > 0 {
+		nodeOpts.ReadTimeout = cfg.ReadTimeout
 	}
 
 	interval := cfg.Interval
@@ -239,7 +265,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	for i := 0; i < cfg.P; i++ {
 		i := i
 		machine.Spawn("island", func(task *pvm.Task) {
-			node := core.NewNode(task, cfg.NodeOpts)
+			node := core.NewNode(task, nodeOpts)
 			for _, l := range locs {
 				node.Register(l)
 			}
@@ -306,16 +332,23 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 					for _, j := range sources[i] {
 						switch cfg.Mode {
 						case core.Sync:
+							// The checked assertion matters under a
+							// ReadTimeout: a degraded read can return a
+							// zero Update whose Value is nil.
 							u := node.GlobalRead(locs[j], gen, 0)
-							pool = append(pool, u.Value.([]Individual)...)
+							if vs, ok := u.Value.([]Individual); ok {
+								pool = append(pool, vs...)
+							}
 						case core.Async:
 							if u, ok := node.Read(locs[j]); ok {
-								pool = append(pool, u.Value.([]Individual)...)
+								if vs, ok := u.Value.([]Individual); ok {
+									pool = append(pool, vs...)
+								}
 							}
 						case core.NonStrict:
 							u := node.GlobalRead(locs[j], gen, age)
-							if u.Value != nil {
-								pool = append(pool, u.Value.([]Individual)...)
+							if vs, ok := u.Value.([]Individual); ok {
+								pool = append(pool, vs...)
 							}
 						}
 					}
@@ -375,23 +408,27 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	res.WarpWindows = warpSeries.Windows()
 
 	tasks := machine.TaskTelemetry()
+	var violations int64
 	for i := range tasks {
 		if i < len(coreStats) {
 			cs := coreStats[i]
 			tasks[i].GlobalReads = cs.GlobalReads
 			tasks[i].BlockedReads = cs.BlockedReads
 			tasks[i].BlockedSecs = cs.BlockedTime.Seconds()
+			tasks[i].ReadTimeouts = cs.ReadTimeouts
+			violations += cs.ReadTimeouts
 		}
 	}
 	res.Telemetry = &metrics.Telemetry{
-		Variant:        cfg.Mode.String(),
-		Age:            cfg.Age,
-		CompletionSecs: res.Completion.Seconds(),
-		Tasks:          tasks,
-		Net:            st.Telemetry(eng.Now().Sub(0)),
-		Staleness:      staleHist.Summary(),
-		WarpMean:       res.WarpMean,
-		WarpMax:        res.WarpMax,
+		Variant:             cfg.Mode.String(),
+		Age:                 cfg.Age,
+		CompletionSecs:      res.Completion.Seconds(),
+		Tasks:               tasks,
+		Net:                 st.Telemetry(eng.Now().Sub(0)),
+		Staleness:           staleHist.Summary(),
+		WarpMean:            res.WarpMean,
+		WarpMax:             res.WarpMax,
+		StalenessViolations: violations,
 	}
 	return res, nil
 }

@@ -22,6 +22,14 @@ type TaskTelemetry struct {
 	GlobalReads  int64   `json:"global_reads"`
 	BlockedReads int64   `json:"blocked_reads"`
 	BlockedSecs  float64 `json:"blocked_secs"`
+
+	// Reliable-transport counters (zero unless pvm.Config.Reliable).
+	Retransmits    int64 `json:"retransmits,omitempty"`
+	DupsSuppressed int64 `json:"dups_suppressed,omitempty"`
+	RetxAbandoned  int64 `json:"retx_abandoned,omitempty"`
+	// ReadTimeouts counts Global_Reads that hit their deadline and
+	// returned the cached value instead of a fresh one.
+	ReadTimeouts int64 `json:"read_timeouts,omitempty"`
 }
 
 // NetTelemetry is the interconnect's aggregate accounting.
@@ -51,6 +59,11 @@ type Telemetry struct {
 
 	WarpMean float64 `json:"warp_mean"`
 	WarpMax  float64 `json:"warp_max"`
+
+	// StalenessViolations counts Global_Reads that could not meet the
+	// staleness bound within their timeout and degraded to the cached
+	// value (the sum of the per-task ReadTimeouts).
+	StalenessViolations int64 `json:"staleness_violations,omitempty"`
 }
 
 // TotalBlockedSecs sums the per-task Global_Read blocked time.

@@ -53,6 +53,23 @@ type Config struct {
 	// remedy to compare against the paper's *program-level* Global_Read
 	// control.
 	SendWindow int
+	// Reliable turns on sequence-numbered delivery: every message
+	// carries a per-(src,dst) sequence number, receivers acknowledge
+	// and release messages in order (suppressing duplicates), and
+	// senders retransmit unacknowledged messages with exponential
+	// backoff in simulated time. Off by default — plain PVM over UDP
+	// could lose, reorder and duplicate, and the paper's applications
+	// are built to tolerate exactly that.
+	Reliable bool
+	// RetransmitTimeout is the reliable mode's initial ack deadline;
+	// each retry doubles it. Zero selects a default calibrated to the
+	// Ethernet's latency scale (20 ms).
+	RetransmitTimeout sim.Duration
+	// MaxRetries bounds retransmissions per (message, destination);
+	// after that the transport abandons the copy and counts it. Zero
+	// selects the default (12, spanning ~80 virtual seconds of
+	// backoff — far beyond any injected fault window).
+	MaxRetries int
 }
 
 // DefaultConfig returns PVM-over-Ethernet-scale software overheads.
@@ -92,6 +109,14 @@ func (m *Machine) Tracer() trace.Tracer { return m.eng.Tracer() }
 
 // NewMachine creates a machine on the given engine and fabric.
 func NewMachine(eng *sim.Engine, net netsim.Fabric, cfg Config) *Machine {
+	if cfg.Reliable {
+		if cfg.RetransmitTimeout <= 0 {
+			cfg.RetransmitTimeout = 20 * sim.Millisecond
+		}
+		if cfg.MaxRetries <= 0 {
+			cfg.MaxRetries = 12
+		}
+	}
 	return &Machine{eng: eng, net: net, cfg: cfg}
 }
 
@@ -124,26 +149,39 @@ type Task struct {
 	bytesSent int64        // payload bytes charged to the network (once per frame)
 	bytesRecv int64        // payload bytes of messages the task dequeued
 	recvCPU   sim.Duration // receive-overhead CPU charged for unpacking
+
+	relst *relState // reliable-transport state (nil unless Config.Reliable)
 }
 
 // TaskStats is a snapshot of one task's message-layer accounting.
 // BytesSent counts each multicast frame's payload once (the shared
 // medium carries it once however many receivers there are); BytesRecv
-// and RecvCPU accrue as the application dequeues messages.
+// and RecvCPU accrue as the application dequeues messages. The last
+// three counters are zero unless the machine runs with
+// Config.Reliable.
 type TaskStats struct {
 	Sent, Received       int64
 	BytesSent, BytesRecv int64
 	RecvCPU              sim.Duration
 	Stalls               int64
+	Retransmits          int64 // copies the reliable transport resent
+	DupsSuppressed       int64 // arrivals discarded as duplicates
+	RetxAbandoned        int64 // copies given up on after MaxRetries
 }
 
 // Stats returns a snapshot of the task's counters.
 func (t *Task) Stats() TaskStats {
-	return TaskStats{
+	s := TaskStats{
 		Sent: t.sent, Received: t.received,
 		BytesSent: t.bytesSent, BytesRecv: t.bytesRecv,
 		RecvCPU: t.recvCPU, Stalls: t.stalls,
 	}
+	if t.relst != nil {
+		s.Retransmits = t.relst.retransmits
+		s.DupsSuppressed = t.relst.dups
+		s.RetxAbandoned = t.relst.abandoned
+	}
+	return s
 }
 
 // TaskTelemetry returns the message-layer half of every task's
@@ -158,6 +196,11 @@ func (m *Machine) TaskTelemetry() []metrics.TaskTelemetry {
 			RecvCPUSecs: t.recvCPU.Seconds(),
 			SendStalls:  t.stalls,
 		}
+		if t.relst != nil {
+			out[i].Retransmits = t.relst.retransmits
+			out[i].DupsSuppressed = t.relst.dups
+			out[i].RetxAbandoned = t.relst.abandoned
+		}
 	}
 	return out
 }
@@ -169,16 +212,22 @@ func (m *Machine) Spawn(name string, fn func(*Task)) *Task {
 	// so steady-state enqueue/dequeue does not grow the backing array.
 	t := &Task{m: m, id: len(m.tasks), queue: make([]*Message, 0, 16)}
 	m.tasks = append(m.tasks, t)
-	t.node = m.net.Attach(name, func(src int, payload interface{}, sentAt sim.Time) {
-		msg := payload.(*Message)
-		msg.ArrivedAt = m.eng.Now()
-		if m.ArrivalHook != nil {
-			m.ArrivalHook(t.id, msg)
-		}
-		t.traceArrival(msg)
-		t.queue = append(t.queue, msg)
-		t.wl.WakeAll()
-	})
+	if m.cfg.Reliable {
+		t.node = m.net.Attach(name, func(src int, payload interface{}, sentAt sim.Time) {
+			t.reliableArrival(payload)
+		})
+	} else {
+		t.node = m.net.Attach(name, func(src int, payload interface{}, sentAt sim.Time) {
+			msg := payload.(*Message)
+			msg.ArrivedAt = m.eng.Now()
+			if m.ArrivalHook != nil {
+				m.ArrivalHook(t.id, msg)
+			}
+			t.traceArrival(msg)
+			t.queue = append(t.queue, msg)
+			t.wl.WakeAll()
+		})
+	}
 	t.proc = m.eng.Spawn(name, func(p *sim.Proc) { fn(t) })
 	return t
 }
@@ -240,14 +289,23 @@ func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire
 			onWire()
 		}
 	}
+	var payload interface{} = msg
+	var env *envelope
+	if t.m.cfg.Reliable {
+		env = t.wrapReliable(dsts, msg)
+		payload = env
+	}
 	if len(dsts) == 1 {
-		t.m.net.Unicast(t.node, t.m.tasks[dsts[0]].node, size, msg, wireDone)
+		t.m.net.Unicast(t.node, t.m.tasks[dsts[0]].node, size, payload, wireDone)
 	} else {
 		nodes := make([]int, len(dsts))
 		for i, dst := range dsts {
 			nodes[i] = t.m.tasks[dst].node
 		}
-		t.m.net.Multicast(t.node, nodes, size, msg, wireDone)
+		t.m.net.Multicast(t.node, nodes, size, payload, wireDone)
+	}
+	if env != nil {
+		t.armRetransmit(dsts, env)
 	}
 	t.sent++
 }

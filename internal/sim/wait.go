@@ -19,6 +19,36 @@ func (w *WaitList) Wait(p *Proc) {
 	p.park()
 }
 
+// WaitTimeout parks p until another party wakes it or until absolute
+// virtual time deadline, whichever comes first. It reports true for a
+// genuine wake and false for a timeout. A deadline at or before the
+// current time returns false immediately without parking.
+//
+// The timeout is implemented as a scheduled event that removes p from
+// the wait list before resuming it, so a later WakeOne can never
+// target an already-timed-out process; conversely a genuine wake
+// cancels the timer, so a process can never be resumed twice.
+func (w *WaitList) WaitTimeout(p *Proc, deadline Time) bool {
+	if deadline <= p.eng.now {
+		return false
+	}
+	timedOut := false
+	h := p.eng.Schedule(deadline, func() {
+		for i, q := range w.waiters {
+			if q == p {
+				copy(w.waiters[i:], w.waiters[i+1:])
+				w.waiters = w.waiters[:len(w.waiters)-1]
+				timedOut = true
+				p.wake()
+				return
+			}
+		}
+	})
+	w.Wait(p)
+	h.Cancel()
+	return !timedOut
+}
+
 // WakeOne wakes the longest-waiting process, reporting whether there was
 // one. The woken process resumes via a scheduled event at the current
 // virtual time, after the caller yields control.

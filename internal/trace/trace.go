@@ -33,6 +33,9 @@ const (
 	PidPVM  = 3 // message layer: sends and per-message delivery spans
 	PidCore = 4 // coherence: Global_Read spans, update arrivals
 	PidApp  = 5 // applications: GA generations, sampler iterations
+	// PidFaults is the fault-injection layer: scheduled drop/delay/
+	// duplicate instants and crash/partition window spans.
+	PidFaults = 6
 )
 
 // PidName returns the layer name a pid renders under.
@@ -48,6 +51,8 @@ func PidName(pid int) string {
 		return "core"
 	case PidApp:
 		return "app"
+	case PidFaults:
+		return "faults"
 	default:
 		return fmt.Sprintf("pid%d", pid)
 	}
