@@ -37,6 +37,7 @@ func main() {
 		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
+		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 		RandomDefaults: *randDef,
 		Batch:          *batch,
 		Reliable:       *reliable,
+		RaceCheck:      *simRace,
 	}
 	cfg.ReadTimeout = sim.Duration(readTo.Nanoseconds())
 	if *faultsF != "" {
@@ -123,6 +125,10 @@ func main() {
 		res.EdgeCut, res.Gambles, res.Conflicts, res.Rollbacks, res.Replayed)
 	fmt.Printf("  messages=%d bytes=%d blocked=%d blocked-time=%v warp=%.2f\n",
 		res.Messages, res.NetBytes, res.Blocked, res.BlockedTime, res.WarpMean)
+	if rt := res.Telemetry.Races; rt != nil {
+		fmt.Printf("  simrace: reads=%d synchronized=%d tolerated-stale=%d unbounded=%d max-lag=%d\n",
+			rt.Reads, rt.Synchronized, rt.ToleratedStale, rt.Unbounded, rt.MaxLag)
+	}
 	if err := traceio.WriteTrace(*trOut, rec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -54,6 +54,7 @@ func main() {
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 		lossProb = flag.Float64("loss", 0, "override the Ethernet model's per-frame loss probability")
+		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker (adds race columns to the age sweep)")
 	)
 	flag.Parse()
 
@@ -90,6 +91,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.LossProb = *lossProb
+	opts.SimRace = *simRace
 	if *procs != "" {
 		opts.Procs = nil
 		for _, s := range strings.Split(*procs, ",") {
@@ -152,12 +154,12 @@ func main() {
 	// which have nothing to parallelize and no throughput to report).
 	run := func(name string, cells int, f func() error) {
 		fmt.Printf("== %s ==\n", name)
-		start := time.Now()
+		start := time.Now() //nscc:wallclock -- host-side cells/sec meter, not simulated time
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		wall := time.Since(start)
+		wall := time.Since(start) //nscc:wallclock -- host-side cells/sec meter, not simulated time
 		if cells > 0 {
 			secs := wall.Seconds()
 			snap.AddSweep(name, cells, secs)

@@ -40,6 +40,7 @@ func main() {
 		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
+		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		DynamicAge: *dynAge,
 		NodeOpts:   core.Options{Window: *window, Coalesce: *window > 0},
 		Reliable:   *reliable,
+		RaceCheck:  *simRace,
 	}
 	cfg.ReadTimeout = sim.Duration(readTo.Nanoseconds())
 	if *faultsF != "" {
@@ -125,6 +127,10 @@ func main() {
 		res.OptimumFound, res.ReachedTarget, res.Messages, res.NetBytes)
 	fmt.Printf("  blocked=%d blocked-time=%v queue-delay=%v warp=%.2f coalesced=%d\n",
 		res.Blocked, res.BlockedTime, res.QueueDelay, res.WarpMean, res.Coalesced)
+	if rt := res.Telemetry.Races; rt != nil {
+		fmt.Printf("  simrace: reads=%d synchronized=%d tolerated-stale=%d unbounded=%d max-lag=%d\n",
+			rt.Reads, rt.Synchronized, rt.ToleratedStale, rt.Unbounded, rt.MaxLag)
+	}
 	if err := traceio.WriteTrace(*trOut, rec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,63 @@
+// Command nscc-lint enforces the repository's determinism contract: it
+// runs the internal/analysis analyzer suite (wallclock, globalrand,
+// rawconc, maporder) over the given package patterns and exits nonzero
+// if any finding survives the //nscc:<analyzer> directives.
+//
+// Usage:
+//
+//	nscc-lint [-json] [packages]     (default ./...)
+//
+// Run it from inside the module: the source importer resolves
+// module-internal imports relative to the working directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nscc/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := analysis.LoadPackages("", flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analysis.All())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "nscc-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -30,6 +30,7 @@ func main() {
 		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
+		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		Seed: *seed, Calib: calib, LoaderBps: *load,
 		Reliable:    *reliable,
 		ReadTimeout: sim.Duration(readTo.Nanoseconds()),
+		RaceCheck:   *simRace,
 	}
 	if *faultsF != "" {
 		plan, err := faults.LoadFile(*faultsF)
@@ -96,4 +98,8 @@ func show(name string, r ga.IslandResult) {
 		spark = spark[:72*3] // runes are 3 bytes; keep ~72 glyphs
 	}
 	fmt.Printf("%-11s mean=%.2f max=%.2f  %s\n", name, r.WarpMean, r.WarpMax, spark)
+	if rt := r.Telemetry.Races; rt != nil {
+		fmt.Printf("%-11s   simrace: reads=%d synchronized=%d tolerated-stale=%d unbounded=%d\n",
+			"", rt.Reads, rt.Synchronized, rt.ToleratedStale, rt.Unbounded)
+	}
 }

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short lower-case identifier; also the directive suffix
+	Doc  string // one-paragraph description, shown by nscc-lint -help
+
+	// Match, if non-nil, restricts which packages the driver applies
+	// the analyzer to, by import path. Nil applies it everywhere.
+	// Fixture tests bypass Match: it scopes repository runs only.
+	Match func(importPath string) bool
+
+	// Run inspects one package through the pass and reports findings
+	// via pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked package and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+	// suppress maps filename -> set of lines bearing an
+	// //nscc:<analyzer> directive for this pass's analyzer.
+	suppress map[string]map[int]bool
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Pos renders the diagnostic's position as file:line:col.
+func (d Diagnostic) Pos() string {
+	return fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos(), d.Analyzer, d.Message)
+}
+
+// NewPass prepares a pass of one analyzer over one package, including
+// the directive map that implements //nscc:<name> suppression.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info,
+		suppress: map[string]map[int]bool{}}
+	directive := "//nscc:" + a.Name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+					pos := fset.Position(c.Pos())
+					lines := p.suppress[pos.Filename]
+					if lines == nil {
+						lines = map[int]bool{}
+						p.suppress[pos.Filename] = lines
+					}
+					lines[pos.Line] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records one finding at pos unless an //nscc:<analyzer>
+// directive on the same line or the line immediately above allows it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if lines := p.suppress[position.Filename]; lines != nil {
+		if lines[position.Line] || lines[position.Line-1] {
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Inspect walks every file of the package in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// All returns the repository's analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, Globalrand, Rawconc, Maporder}
+}
+
+// RunAnalyzers applies every applicable analyzer to every loaded
+// package and returns the merged findings in position order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.ImportPath) {
+				continue
+			}
+			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			a.Run(pass)
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// pkgPathOf returns the import path of the package an object belongs
+// to, or "" for builtins and package-less objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

@@ -1,0 +1,153 @@
+// Package analysistest runs an analyzer over a golden fixture package
+// and checks its diagnostics against // want "regexp" comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (rebuilt on the
+// standard library, since this repository builds offline).
+//
+// A fixture is a directory of Go files under testdata; a line expecting
+// diagnostics carries a trailing comment:
+//
+//	t := time.Now() // want `time\.Now reads the wall clock`
+//
+// Multiple expectations on one line are written as multiple quoted
+// regexps. Every diagnostic must match a want on its line and every
+// want must be matched — extra or missing findings fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"nscc/internal/analysis"
+)
+
+// wantRe extracts the quoted regexps of a want comment. Both "..." and
+// `...` quoting are accepted.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one // want entry: a pattern expected to match a
+// diagnostic on its line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to the fixture package in dir and reports
+// any mismatch between its diagnostics and the fixture's want
+// comments. The analyzer's Match scope is deliberately ignored:
+// fixtures test the check itself, not the repository scoping.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture %s does not typecheck: %v", dir, err)
+	}
+
+	pass := analysis.NewPass(a, fset, files, pkg, info)
+	a.Run(pass)
+	diags := pass.Diagnostics()
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", relPos(d.File, d.Line), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", relPos(w.file, w.line), w.pattern)
+		}
+	}
+}
+
+// parseDir parses every .go file of the fixture directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files")
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// collectWants gathers every // want expectation in the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", relPos(pos.Filename, pos.Line), pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// consume marks the first unmatched want on the diagnostic's line whose
+// pattern matches, reporting whether one existed.
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func relPos(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}

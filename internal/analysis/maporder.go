@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maporderSinks are the fmt functions whose output ordering a map
+// range would scramble.
+var maporderSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+}
+
+// Maporder reports range statements over maps whose body appends to a
+// slice, prints, or sends — constructs through which Go's randomized
+// map iteration order escapes into results. A run that formats a table
+// or assigns ids from such a loop differs byte-for-byte between
+// executions of the very same seed. Collect keys, sort, then iterate;
+// or annotate a loop whose order provably cannot escape (e.g. the
+// appended slice is sorted immediately after) with //nscc:maporder.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "map iteration whose order escapes (append/print/send in the body): " +
+		"sort the keys first, or annotate //nscc:maporder if the order is laundered after",
+	Run: func(p *Pass) {
+		p.Inspect(func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			// One diagnostic per loop; nested map ranges are visited by
+			// the outer walk and judged on their own.
+			reported := false
+			report := func(format string, args ...interface{}) {
+				if !reported {
+					reported = true
+					p.Reportf(rs.Pos(), format, args...)
+				}
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				if reported {
+					return false
+				}
+				switch inner := inner.(type) {
+				case *ast.SendStmt:
+					report("map iteration order reaches a channel send; iterate sorted keys")
+				case *ast.CallExpr:
+					switch fun := inner.Fun.(type) {
+					case *ast.Ident:
+						if obj := p.TypesInfo.Uses[fun]; obj != nil && obj.Name() == "append" && pkgPathOf(obj) == "" {
+							report("map iteration order reaches an append; iterate sorted keys (or //nscc:maporder if sorted after)")
+						}
+					case *ast.SelectorExpr:
+						if obj := p.TypesInfo.Uses[fun.Sel]; pkgPathOf(obj) == "fmt" && maporderSinks[obj.Name()] {
+							report("map iteration order reaches fmt.%s output; iterate sorted keys", obj.Name())
+						}
+					}
+				}
+				return !reported
+			})
+			return true
+		})
+	},
+}

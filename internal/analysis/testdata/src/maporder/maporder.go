@@ -1,0 +1,53 @@
+// Package maporder is the golden fixture of the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// bad lets the map iteration order escape three different ways.
+func bad(m map[string]int, out chan<- string) []string {
+	var keys []string
+	for k := range m { // want `map iteration order reaches an append`
+		keys = append(keys, k)
+	}
+	for k, v := range m { // want `map iteration order reaches fmt\.Printf output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+	for k := range m { // want `map iteration order reaches a channel send`
+		out <- k
+	}
+	return keys
+}
+
+// nested: the outer loop's order escapes through the append even though
+// the append sits in an inner (slice) loop.
+func nested(m map[string][]int) []int {
+	var all []int
+	for _, vs := range m { // want `map iteration order reaches an append`
+		for _, v := range vs {
+			all = append(all, v)
+		}
+	}
+	return all
+}
+
+// good iterates deterministically: order-insensitive aggregation is
+// fine, and output loops run over sorted keys (slices, not maps).
+func good(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative fold: order cannot escape
+		total += v
+	}
+	keys := make([]string, 0, len(m))
+	//nscc:maporder -- the sort below launders the iteration order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k]) // slice range: deterministic
+	}
+	return total
+}

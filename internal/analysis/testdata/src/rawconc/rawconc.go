@@ -1,0 +1,46 @@
+// Package rawconc is the golden fixture of the rawconc analyzer.
+package rawconc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// bad exercises every raw-concurrency construct the analyzer bans in
+// simulated-process code.
+func bad() {
+	ch := make(chan int, 1) // want `channel type in simulated-process code`
+	go func() {             // want `go statement in simulated-process code`
+		ch <- 1 // want `channel send in simulated-process code`
+	}()
+	_ = <-ch // want `channel receive in simulated-process code`
+
+	var mu sync.Mutex // want `sync\.Mutex in simulated-process code`
+	mu.Lock()
+	mu.Unlock()
+
+	var n int64
+	atomic.AddInt64(&n, 1) // want `sync/atomic\.AddInt64 in simulated-process code`
+
+	done := make(chan struct{}) // want `channel type in simulated-process code`
+	select {                    // want `select in simulated-process code`
+	case <-done: // want `channel receive in simulated-process code`
+	default:
+	}
+}
+
+// good is plain sequential code: simulated processes compute and talk
+// through simulated messages, never through the host scheduler.
+func good(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// allowed demonstrates directive suppression for a justified site.
+func allowed() {
+	var once sync.Once //nscc:rawconc -- host-side cache, justified
+	once.Do(func() {})
+}

@@ -1,0 +1,35 @@
+// Package wallclock is the golden fixture of the wallclock analyzer.
+package wallclock
+
+import "time"
+
+// bad exercises every banned wall-clock observation.
+func bad() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)                // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Second)                   // want `time\.After reads the wall clock`
+	_ = time.Tick(time.Second)                  // want `time\.Tick reads the wall clock`
+	_ = time.NewTimer(time.Second)              // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)             // want `time\.NewTicker reads the wall clock`
+	_ = time.Until(start.Add(time.Second))      // want `time\.Until reads the wall clock`
+	return time.Since(start)                    // want `time\.Since reads the wall clock`
+}
+
+// good uses only replay-safe parts of package time: durations,
+// conversions, and arithmetic never observe the host clock.
+func good() time.Duration {
+	d := 3 * time.Millisecond
+	d += time.Duration(42) * time.Second
+	_ = d.Seconds()
+	_ = time.Unix(0, int64(d)) // constructing a Time from data is fine
+	return d
+}
+
+// allowed demonstrates directive suppression: a host-side meter may
+// read the wall clock when it says so.
+func allowed() time.Duration {
+	start := time.Now() //nscc:wallclock -- host-side meter
+	//nscc:wallclock -- directive on the preceding line also suppresses
+	elapsed := time.Since(start)
+	return elapsed
+}

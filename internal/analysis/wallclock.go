@@ -1,0 +1,47 @@
+package analysis
+
+import "go/ast"
+
+// wallclockBanned is the set of package time functions that read or
+// wait on the host's clock. Conversions and constants (time.Duration,
+// time.Millisecond) are fine — only actual wall-clock observation
+// breaks replay.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock reports uses of wall-clock time in simulation code. All
+// simulated time must come from the virtual clock (sim.Engine.Now /
+// sim.Proc timing); a single time.Now in a hot path silently couples
+// results to host speed and destroys byte-identical replay. Host-side
+// measurement code (throughput meters, benchmark harnesses) annotates
+// each use with //nscc:wallclock.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "wall-clock time in simulation code: take time from sim.Engine.Now, " +
+		"or annotate host-side measurement with //nscc:wallclock",
+	Run: func(p *Pass) {
+		p.Inspect(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[sel.Sel]
+			if pkgPathOf(obj) != "time" || !wallclockBanned[obj.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulated code must use the virtual clock (sim.Engine.Now)",
+				obj.Name())
+			return true
+		})
+	},
+}

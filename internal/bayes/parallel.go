@@ -12,6 +12,7 @@ import (
 	"nscc/internal/pvm"
 	"nscc/internal/rollback"
 	"nscc/internal/sim"
+	"nscc/internal/simrace"
 	"nscc/internal/trace"
 )
 
@@ -102,6 +103,11 @@ type ParallelConfig struct {
 	// per-iteration app spans and rollback/antimessage instants. Nil
 	// keeps every hot path on its zero-cost branch.
 	Tracer trace.Tracer
+
+	// RaceCheck runs the simulated-time race classifier over the run and
+	// fills Telemetry.Races. Strictly passive: virtual time and the
+	// estimate are identical with it on or off.
+	RaceCheck bool
 }
 
 // ParallelResult reports one parallel run.
@@ -230,7 +236,13 @@ func buildTopology(bn *Network, q Query, p int, seed int64) *topology {
 		if src != t.coordinator {
 			dsts[t.coordinator] = true // evidence-bit stream
 		}
-		for dst := range dsts {
+		// Deterministic dst order: location ids must be identical
+		// across runs of the same seed (they reach traces and the race
+		// classifier), so never assign them in map-iteration order.
+		for dst := 0; dst < p; dst++ {
+			if !dsts[dst] {
+				continue
+			}
 			t.bundleLocs[src][dst] = &core.Location{
 				ID: locID, Name: "bundle", Writer: src, Readers: []int{dst},
 				Size: bundleBytes(len(t.iface[src][dst]), 1),
@@ -337,6 +349,11 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	if cfg.LoaderBps > 0 {
 		netsim.StartLoader(net, cfg.LoaderBps, 1024)
 	}
+	var rc *simrace.Checker
+	if cfg.RaceCheck {
+		rc = simrace.New(eng)
+		rc.Attach(machine)
+	}
 
 	topo := buildTopology(bn, cfg.Query, cfg.P, cfg.Seed)
 
@@ -387,8 +404,8 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 				w.owned = append(w.owned, u)
 			}
 		}
-		for ev := range cfg.Query.Evidence {
-			if topo.parts[ev] == p {
+		for ev := 0; ev < bn.N(); ev++ {
+			if _, isEv := cfg.Query.Evidence[ev]; isEv && topo.parts[ev] == p {
 				w.evNodes = append(w.evNodes, ev)
 			}
 		}
@@ -397,6 +414,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 				w.sources = append(w.sources, src)
 			}
 		}
+		//nscc:maporder -- sortInts below launders the iteration order
 		for dst := range topo.bundleLocs[p] {
 			w.targets = append(w.targets, dst)
 		}
@@ -410,7 +428,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 		machine.Spawn("part", func(task *pvm.Task) {
 			w.task = task
 			w.jit = cfg.Calib.NewJitterer(task.Proc().Rng())
-			w.node = core.NewNode(task, core.Options{Observer: w.observe, ReadTimeout: cfg.ReadTimeout})
+			w.node = core.NewNode(task, core.Options{Observer: w.observe, ReadTimeout: cfg.ReadTimeout, Races: raceObserver(rc)})
 			for _, ls := range topo.bundleLocs {
 				for _, l := range ls {
 					w.node.Register(l)
@@ -487,7 +505,20 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 		WarpMax:             res.WarpMax,
 		StalenessViolations: violations,
 	}
+	if rc != nil {
+		res.Telemetry.Races = rc.Telemetry()
+	}
 	return res, nil
+}
+
+// raceObserver converts a possibly-nil *simrace.Checker into the
+// core.Options field without storing a non-nil interface around a nil
+// pointer.
+func raceObserver(rc *simrace.Checker) core.RaceObserver {
+	if rc == nil {
+		return nil
+	}
+	return rc
 }
 
 func sortInts(xs []int) {

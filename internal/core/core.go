@@ -107,6 +107,40 @@ const RequestTag = UpdateTag + 1
 // and an iteration bound).
 const requestMsgSize = 16
 
+// ReadInfo describes one completed DSM read to a RaceObserver.
+type ReadInfo struct {
+	Task int // reading task id
+	Loc  int // location id
+	// GotIter is the iteration of the returned value (meaningless when
+	// HasValue is false).
+	GotIter int64
+	// CurIter and Age are the Global_Read arguments (zero for async
+	// reads, which carry no staleness contract).
+	CurIter int64
+	Age     int64
+	// Bounded marks a Global_Read (finite staleness contract); async
+	// Read calls report Bounded false.
+	Bounded bool
+	// TimedOut marks a Global_Read that hit Options.ReadTimeout and
+	// degraded to the cached value.
+	TimedOut bool
+	// HasValue is false when the read returned no value at all (nothing
+	// had arrived and the contract demanded nothing).
+	HasValue bool
+}
+
+// RaceObserver receives the coherence layer's write/read stream. The
+// simrace checker implements it to classify every cross-process read
+// against the writes it may have raced; the interface lives here so
+// package core stays free of any dependency on the checker.
+type RaceObserver interface {
+	// ObserveWrite fires at each application write, before the update
+	// messages enter the network.
+	ObserveWrite(task, loc int, iter int64)
+	// ObserveRead fires as each Read/GlobalRead returns.
+	ObserveRead(ReadInfo)
+}
+
 // Options configure a Node.
 type Options struct {
 	// Window bounds the writer's in-flight update frames; writes beyond
@@ -131,6 +165,10 @@ type Options struct {
 	// not belong here: set a trace.Tracer on the engine instead, and the
 	// node emits an "update" instant for the same stream.
 	Observer func(locID int, u Update)
+	// Races, if set, observes every DSM write and read for race
+	// classification (the -simrace flag wires the simrace checker in
+	// here). Nil costs one predicted branch per operation.
+	Races RaceObserver
 	// ReadTimeout bounds how long a Global_Read may block. When the
 	// deadline passes without a sufficiently fresh value, the read
 	// degrades gracefully: it returns the freshest cached value (Iter
@@ -237,6 +275,9 @@ func (n *Node) WriteSized(loc *Location, iter int64, size int, value interface{}
 			n.task.ID(), loc.Name, loc.Writer))
 	}
 	n.stats.Writes++
+	if n.opts.Races != nil {
+		n.opts.Races.ObserveWrite(n.task.ID(), loc.ID, iter)
+	}
 	// The writer's own buffer always sees its latest value.
 	n.buf[loc.ID] = Update{Value: value, Iter: iter, WrittenAt: n.task.Now()}
 
@@ -351,6 +392,10 @@ func (n *Node) Read(loc *Location) (Update, bool) {
 	n.drain()
 	n.stats.Reads++
 	u, ok := n.buf[loc.ID]
+	if n.opts.Races != nil {
+		n.opts.Races.ObserveRead(ReadInfo{Task: n.task.ID(), Loc: loc.ID,
+			GotIter: u.Iter, HasValue: ok})
+	}
 	return u, ok
 }
 
@@ -372,10 +417,12 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 	u, ok := n.buf[loc.ID]
 	if ok && u.Iter >= minIter {
 		n.traceRead(n.task.Now(), 0, loc, n.recordStaleness(curIter, u.Iter))
+		n.observeGlobalRead(loc, u.Iter, curIter, age, false, true)
 		return u
 	}
 	if !ok && minIter < 0 {
 		n.traceRead(n.task.Now(), 0, loc, -1)
+		n.observeGlobalRead(loc, 0, curIter, age, false, false)
 		return Update{Iter: NoValue}
 	}
 
@@ -395,7 +442,7 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 		if n.opts.ReadTimeout > 0 {
 			m = n.task.RecvTimeout(pvm.Any, UpdateTag, deadline.Sub(n.task.Now()))
 			if m == nil {
-				return n.degradeRead(loc, start)
+				return n.degradeRead(loc, start, curIter, age)
 			}
 		} else {
 			m = n.task.Recv(pvm.Any, UpdateTag)
@@ -405,9 +452,21 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 			end := n.task.Now()
 			n.stats.BlockedTime += end.Sub(start)
 			n.traceRead(start, end.Sub(start), loc, n.recordStaleness(curIter, u.Iter))
+			n.observeGlobalRead(loc, u.Iter, curIter, age, false, true)
 			return u
 		}
 	}
+}
+
+// observeGlobalRead reports one finished Global_Read to the race
+// observer (nil-safe).
+func (n *Node) observeGlobalRead(loc *Location, gotIter, curIter, age int64, timedOut, hasValue bool) {
+	if n.opts.Races == nil {
+		return
+	}
+	n.opts.Races.ObserveRead(ReadInfo{Task: n.task.ID(), Loc: loc.ID,
+		GotIter: gotIter, CurIter: curIter, Age: age,
+		Bounded: true, TimedOut: timedOut, HasValue: hasValue})
 }
 
 // degradeRead finishes a Global_Read whose ReadTimeout expired: the
@@ -416,7 +475,7 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 // The observed staleness deliberately stays out of the histogram — the
 // histogram states the bound the primitive honored; the counter states
 // how often it could not.
-func (n *Node) degradeRead(loc *Location, start sim.Time) Update {
+func (n *Node) degradeRead(loc *Location, start sim.Time, curIter, age int64) Update {
 	end := n.task.Now()
 	n.stats.BlockedTime += end.Sub(start)
 	n.stats.ReadTimeouts++
@@ -427,8 +486,10 @@ func (n *Node) degradeRead(loc *Location, start sim.Time) Update {
 	}
 	n.traceRead(start, end.Sub(start), loc, -1)
 	if u, ok := n.buf[loc.ID]; ok {
+		n.observeGlobalRead(loc, u.Iter, curIter, age, true, true)
 		return u
 	}
+	n.observeGlobalRead(loc, 0, curIter, age, true, false)
 	return Update{Iter: NoValue}
 }
 

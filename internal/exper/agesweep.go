@@ -19,6 +19,11 @@ type AgeSweepRow struct {
 	Speedup float64
 	Blocked sim.Duration
 	Warp    float64
+	// Race-classifier totals over the row's trials (filled only when
+	// Options.SimRace): reads that raced but honored the age bound, and
+	// reads that raced with no bound in force.
+	Tolerated int64
+	Unbounded int64
 }
 
 // AgeSweepResult is the age-vs-speedup surface for one function and
@@ -80,6 +85,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				FixedGens: opts.SyncGens, Seed: seed, Calib: calib, LoaderBps: load,
 				Net:    opts.netOverride(),
 				Faults: opts.Faults, Reliable: opts.Reliable, ReadTimeout: opts.ReadTimeout,
+				RaceCheck: opts.SimRace,
 			}
 			if opts.UseSwitch {
 				sw := netsim.DefaultSwitchConfig()
@@ -98,9 +104,11 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 	// Stage 2: the sweep surface. Age index len(ageSweepAges) is the
 	// dynamic-age pseudo-point.
 	type cellOut struct {
-		comp    sim.Duration
-		blocked sim.Duration
-		warp    float64
+		comp      sim.Duration
+		blocked   sim.Duration
+		warp      float64
+		tolerated int64
+		unbounded int64
 	}
 	nAges := len(ageSweepAges) + 1
 	cellAge := func(ai int) (age int64, dynamic bool) {
@@ -132,6 +140,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				DynamicAge: dynamic,
 				Net:        opts.netOverride(),
 				Faults:     opts.Faults, Reliable: opts.Reliable, ReadTimeout: opts.ReadTimeout,
+				RaceCheck:  opts.SimRace,
 			}
 			if opts.UseSwitch {
 				sw := netsim.DefaultSwitchConfig()
@@ -141,7 +150,11 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			if err != nil {
 				return cellOut{}, err
 			}
-			return cellOut{comp: r.Completion, blocked: r.BlockedTime, warp: r.WarpMean}, nil
+			out := cellOut{comp: r.Completion, blocked: r.BlockedTime, warp: r.WarpMean}
+			if rt := r.Telemetry.Races; rt != nil {
+				out.tolerated, out.unbounded = rt.ToleratedStale, rt.Unbounded
+			}
+			return out, nil
 		})
 	if err != nil {
 		return res, err
@@ -163,6 +176,8 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				compSum += out.comp
 				row.Blocked += out.blocked
 				warpSum += out.warp
+				row.Tolerated += out.tolerated
+				row.Unbounded += out.unbounded
 			}
 			row.Speedup = ratio(serialSum, compSum)
 			row.Warp = warpSum / float64(nTrials)
@@ -176,14 +191,24 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 
 	if w != nil {
 		fmt.Fprintf(w, "Age sweep: F%d, %d processors (speedup over serial per age and load)\n", fn.No, p)
-		fmt.Fprintf(w, "%-10s %6s %9s %12s %6s\n", "load", "age", "speedup", "blocked", "warp")
+		fmt.Fprintf(w, "%-10s %6s %9s %12s %6s", "load", "age", "speedup", "blocked", "warp")
+		if opts.SimRace {
+			fmt.Fprintf(w, " %10s %10s", "tolerated", "unbounded")
+		}
+		fmt.Fprintln(w)
+		printRow := func(age string, r AgeSweepRow) {
+			fmt.Fprintf(w, "%-10s %6s %9.2f %12v %6.2f",
+				fmt.Sprintf("%.1fMbps", r.LoadBps/1e6), age, r.Speedup, r.Blocked, r.Warp)
+			if opts.SimRace {
+				fmt.Fprintf(w, " %10d %10d", r.Tolerated, r.Unbounded)
+			}
+			fmt.Fprintln(w)
+		}
 		for _, r := range res.Rows {
-			fmt.Fprintf(w, "%-10s %6d %9.2f %12v %6.2f\n",
-				fmt.Sprintf("%.1fMbps", r.LoadBps/1e6), r.Age, r.Speedup, r.Blocked, r.Warp)
+			printRow(fmt.Sprintf("%d", r.Age), r)
 		}
 		for _, r := range res.Dynamic {
-			fmt.Fprintf(w, "%-10s %6s %9.2f %12v %6.2f\n",
-				fmt.Sprintf("%.1fMbps", r.LoadBps/1e6), "dyn", r.Speedup, r.Blocked, r.Warp)
+			printRow("dyn", r)
 		}
 	}
 	return res, nil

@@ -80,6 +80,11 @@ type Options struct {
 	// LossProb, if positive, overrides the network model's independent
 	// per-frame loss probability (the lossy-Ethernet recipe).
 	LossProb float64
+	// SimRace runs the simulated-time race classifier in every cell
+	// (ga.IslandConfig.RaceCheck) and adds race columns to the sweeps
+	// that report them. Strictly passive: cells keep byte-identical
+	// virtual time with it on or off.
+	SimRace bool
 }
 
 // netOverride returns the bus config override the fault knobs imply,
@@ -191,6 +196,7 @@ func gaTrial(fn *functions.Function, p int, seed int64, opts Options, loadBps fl
 		Faults:      opts.Faults,
 		Reliable:    opts.Reliable,
 		ReadTimeout: opts.ReadTimeout,
+		RaceCheck:   opts.SimRace,
 	}
 	if opts.UseSwitch {
 		sw := netsim.DefaultSwitchConfig()

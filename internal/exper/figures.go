@@ -247,6 +247,7 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 					Faults:      opts.Faults,
 					Reliable:    opts.Reliable,
 					ReadTimeout: opts.ReadTimeout,
+					RaceCheck:   opts.SimRace,
 				}
 				pr, err := bayes.RunParallel(cfg)
 				if err != nil {

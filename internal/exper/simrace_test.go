@@ -1,0 +1,75 @@
+package exper
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nscc/internal/ga/functions"
+)
+
+// ageSweepRaceFixture runs a reduced age sweep with the race classifier
+// on at the given worker count.
+func ageSweepRaceFixture(t *testing.T, workers int) (AgeSweepResult, string) {
+	t.Helper()
+	opts := Quick()
+	opts.Trials = 1
+	opts.SyncGens = 40
+	opts.Workers = workers
+	opts.SimRace = true
+	var buf bytes.Buffer
+	res, err := AgeSweep(&buf, opts, functions.F1, 4, []float64{0})
+	if err != nil {
+		t.Fatalf("AgeSweep(workers=%d): %v", workers, err)
+	}
+	return res, buf.String()
+}
+
+// TestAgeSweepSimRaceDeterministicAcrossWorkerCounts: the race
+// classifier's verdict is part of the sweep output, so it must stay
+// byte-identical whether cells run serially or fan out.
+func TestAgeSweepSimRaceDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial, serialText := ageSweepRaceFixture(t, 1)
+	pooled, pooledText := ageSweepRaceFixture(t, 4)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("AgeSweep results differ between workers=1 and workers=4:\n%+v\nvs\n%+v", serial, pooled)
+	}
+	if serialText != pooledText {
+		t.Errorf("AgeSweep rendered tables differ between workers=1 and workers=4:\n%s\nvs\n%s", serialText, pooledText)
+	}
+	if !strings.Contains(serialText, "tolerated") || !strings.Contains(serialText, "unbounded") {
+		t.Errorf("SimRace sweep output is missing the race columns:\n%s", serialText)
+	}
+	// The fixed-age rows run under the Global_Read contract: no
+	// unbounded races, and somewhere in the sweep the bound is actually
+	// exercised.
+	sawTolerated := false
+	for _, r := range serial.Rows {
+		if r.Unbounded != 0 {
+			t.Errorf("age=%d: %d unbounded races under the age contract", r.Age, r.Unbounded)
+		}
+		if r.Tolerated > 0 {
+			sawTolerated = true
+		}
+	}
+	if !sawTolerated {
+		t.Error("no tolerated-stale reads anywhere in the age sweep")
+	}
+}
+
+// TestAgeSweepWithoutSimRaceOmitsColumns pins that the default sweep
+// output is unchanged when the classifier is off.
+func TestAgeSweepWithoutSimRaceOmitsColumns(t *testing.T) {
+	opts := Quick()
+	opts.Trials = 1
+	opts.SyncGens = 40
+	opts.Workers = 1
+	var buf bytes.Buffer
+	if _, err := AgeSweep(&buf, opts, functions.F1, 4, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "tolerated") {
+		t.Errorf("race columns leaked into a sweep without -simrace:\n%s", buf.String())
+	}
+}

@@ -50,6 +50,7 @@ func TraceRun(w io.Writer, opts Options, tr trace.Tracer) (*TraceTelemetry, erro
 		Faults:      opts.Faults,
 		Reliable:    opts.Reliable,
 		ReadTimeout: opts.ReadTimeout,
+		RaceCheck:   opts.SimRace,
 	}
 	syncCfg := base
 	syncCfg.Mode = core.Sync
@@ -80,6 +81,7 @@ func TraceRun(w io.Writer, opts Options, tr trace.Tracer) (*TraceTelemetry, erro
 		Faults:      opts.Faults,
 		Reliable:    opts.Reliable,
 		ReadTimeout: opts.ReadTimeout,
+		RaceCheck:   opts.SimRace,
 	}
 	bres, err := bayes.RunParallel(bcfg)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"nscc/internal/netsim"
 	"nscc/internal/pvm"
 	"nscc/internal/sim"
+	"nscc/internal/simrace"
 	"nscc/internal/trace"
 )
 
@@ -133,6 +134,12 @@ type IslandConfig struct {
 	// lifecycle, network frames, messages, Global_Reads, per-generation
 	// app spans). Nil keeps every hot path on its zero-cost branch.
 	Tracer trace.Tracer
+
+	// RaceCheck runs the simulated-time race classifier over the run and
+	// fills Telemetry.Races. The checker is strictly passive: virtual
+	// time, message order, and the GA result are identical with it on or
+	// off.
+	RaceCheck bool
 }
 
 // IslandResult reports one parallel run.
@@ -209,6 +216,12 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	nodeOpts := cfg.NodeOpts
 	if cfg.ReadTimeout > 0 {
 		nodeOpts.ReadTimeout = cfg.ReadTimeout
+	}
+	var rc *simrace.Checker
+	if cfg.RaceCheck {
+		rc = simrace.New(eng)
+		rc.Attach(machine)
+		nodeOpts.Races = rc
 	}
 
 	interval := cfg.Interval
@@ -429,6 +442,9 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 		WarpMean:            res.WarpMean,
 		WarpMax:             res.WarpMax,
 		StalenessViolations: violations,
+	}
+	if rc != nil {
+		res.Telemetry.Races = rc.Telemetry()
 	}
 	return res, nil
 }

@@ -32,6 +32,32 @@ type TaskTelemetry struct {
 	ReadTimeouts int64 `json:"read_timeouts,omitempty"`
 }
 
+// RaceTelemetry is the simulated-time race classifier's verdict on a
+// run: every cross-process read that returned a value is exactly one of
+// synchronized (no concurrent unobserved write existed — the read could
+// not have raced), tolerated-stale (a race, but within the Global_Read
+// age bound — the paper's non-strict coherence working as designed), or
+// unbounded (a race with no staleness contract in force: an async read,
+// or a timed-out Global_Read that exceeded its bound).
+type RaceTelemetry struct {
+	Writes         int64 `json:"writes"`
+	Reads          int64 `json:"reads"` // value-bearing reads classified
+	Synchronized   int64 `json:"synchronized"`
+	ToleratedStale int64 `json:"tolerated_stale"`
+	Unbounded      int64 `json:"unbounded"`
+	// NoValue counts reads that returned no value at all (nothing had
+	// arrived and the contract demanded nothing) — no race to classify.
+	NoValue int64 `json:"no_value,omitempty"`
+	// TimedOut counts degraded Global_Reads (also classified above).
+	TimedOut int64 `json:"timed_out,omitempty"`
+	// MaxLag is the largest reader-observed staleness (current iteration
+	// − returned iteration) over racy bounded reads.
+	MaxLag int64 `json:"max_lag,omitempty"`
+}
+
+// Races reports the total racy reads (tolerated + unbounded).
+func (r *RaceTelemetry) Races() int64 { return r.ToleratedStale + r.Unbounded }
+
 // NetTelemetry is the interconnect's aggregate accounting.
 type NetTelemetry struct {
 	Frames         int64   `json:"frames"`
@@ -64,6 +90,10 @@ type Telemetry struct {
 	// staleness bound within their timeout and degraded to the cached
 	// value (the sum of the per-task ReadTimeouts).
 	StalenessViolations int64 `json:"staleness_violations,omitempty"`
+
+	// Races is the simulated-time race classifier's summary; nil unless
+	// the run was executed with race checking on.
+	Races *RaceTelemetry `json:"races,omitempty"`
 }
 
 // TotalBlockedSecs sums the per-task Global_Read blocked time.

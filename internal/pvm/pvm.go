@@ -27,6 +27,12 @@ type Message struct {
 	Size      int         // payload size in bytes, as charged to the network
 	SentAt    sim.Time    // virtual time the send was issued
 	ArrivedAt sim.Time    // virtual time the frame left the network
+
+	// Aux carries an opaque per-message annotation attached by a
+	// SendHook observer (the simrace checker stamps its vector clock
+	// here). Reliable-mode delivery copies share it; the message layer
+	// itself never touches it.
+	Aux interface{}
 }
 
 // Config carries the software overheads of the messaging layer. These
@@ -100,6 +106,13 @@ type Machine struct {
 	// once (one logical message); each delivery then fires ArrivalHook,
 	// so every arrival's *Message was previously seen by SendHook.
 	SendHook func(src int, m *Message)
+
+	// RecvHook, if set, observes every message as the receiving task
+	// dequeues it (inside Recv/NRecv/RecvTimeout, before the unpacking
+	// charge). This is the point where the payload becomes visible to
+	// the application, so it is where happens-before knowledge actually
+	// transfers — the simrace checker joins vector clocks here.
+	RecvHook func(dst int, m *Message)
 }
 
 // Tracer returns the tracer of the machine's engine (nil when tracing
@@ -351,6 +364,9 @@ func (t *Task) recvCost(msg *Message) sim.Duration {
 // charge accounts a dequeued message to the task: the unpacking CPU
 // time (advancing the task's clock) and the receive-side counters.
 func (t *Task) charge(msg *Message) {
+	if t.m.RecvHook != nil {
+		t.m.RecvHook(t.id, msg)
+	}
 	cost := t.recvCost(msg)
 	t.proc.Sleep(cost)
 	t.received++

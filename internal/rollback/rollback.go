@@ -105,6 +105,7 @@ func (s *Store) Consume(node int, iter int64, def int) (state int, gambled bool)
 // must replay oldest-first so corrections cascade consistently).
 func (s *Store) Dirty() []int64 {
 	out := make([]int64, 0, len(s.dirty))
+	//nscc:maporder -- the sort below launders the iteration order
 	for it := range s.dirty {
 		out = append(out, it)
 	}

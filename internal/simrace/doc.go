@@ -1,0 +1,45 @@
+// Package simrace is the simulated-time data-race classifier: a
+// vector-clock happens-before checker that runs over *simulated*
+// processes and classifies every cross-process DSM read instead of
+// merely detecting that races exist.
+//
+// The paper's whole premise is that its applications tolerate data
+// races — stale reads are admissible as long as the staleness is
+// bounded (Global_Read's age contract). A conventional race detector
+// can only condemn such programs wholesale; this checker instead
+// splits the verdict three ways, per read:
+//
+//   - Synchronized: every write of the location newer than the value
+//     the read returned (there may be none) happened-before the read.
+//     Nothing raced; a strict-coherence system would have returned the
+//     same value.
+//   - ToleratedStale: a newer write was concurrent with the read — a
+//     data race in the happens-before sense — but the read ran under a
+//     Global_Read age contract and honored it (current iteration −
+//     returned iteration ≤ age). This is non-strict coherence working
+//     as designed; counting these is measuring the paper's mechanism.
+//   - Unbounded: a race with no staleness bound in force — an
+//     asynchronous read, or a timed-out Global_Read that degraded past
+//     its bound. In a correctness-sensitive application these are the
+//     dangerous ones.
+//
+// Happens-before is tracked with one vector clock per simulated task:
+// local events (DSM writes, sends) tick the sender's component; a
+// message carries the sender's clock snapshot (pvm.Message.Aux, set by
+// the machine's SendHook) and is joined into the receiver's clock at
+// *dequeue* (pvm.Machine.RecvHook) — knowledge transfers when the
+// application takes delivery, not when the frame arrives. Locations
+// have a single writer, so the checker keeps only two write records per
+// location (newest-stamped and last-in-time; see writeRec) rather than
+// the whole history.
+//
+// The checker is strictly passive: it never advances virtual time,
+// never perturbs event order, and draws no randomness, so a run with
+// checking enabled is event-for-event identical to the same run
+// without it, and its verdict is a deterministic function of the run's
+// seed at any host worker count. Enable it with -simrace on the
+// binaries, ga.IslandConfig.RaceCheck / bayes.ParallelConfig.RaceCheck
+// / exper.Options.SimRace programmatically; results land in
+// metrics.Telemetry.Races and, when a tracer is attached, as one
+// instant per racy read on the trace's "simrace" track.
+package simrace

@@ -1,0 +1,256 @@
+package simrace
+
+import (
+	"nscc/internal/core"
+	"nscc/internal/metrics"
+	"nscc/internal/pvm"
+	"nscc/internal/sim"
+	"nscc/internal/trace"
+)
+
+// Class is the verdict on one value-bearing cross-process read.
+type Class int
+
+const (
+	// Synchronized: at the moment the read returned, every write of the
+	// location newer than the returned value (there may be none)
+	// happened-before the read — the reader could not have observed
+	// anything fresher, so nothing raced.
+	Synchronized Class = iota
+	// ToleratedStale: a newer write existed concurrently with the read
+	// (a data race in the happens-before sense), but the read ran under
+	// a Global_Read contract and honored it (curIter − gotIter ≤ age) —
+	// the paper's non-strict coherence working as designed.
+	ToleratedStale
+	// Unbounded: a race with no staleness bound in force — an async
+	// read, or a Global_Read whose timeout expired past its bound.
+	Unbounded
+)
+
+func (c Class) String() string {
+	switch c {
+	case Synchronized:
+		return "synchronized"
+	case ToleratedStale:
+		return "tolerated_stale"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "Class(?)"
+	}
+}
+
+// writeRec summarizes the write history of one location: the write
+// with the highest iteration stamp seen so far and the last write in
+// simulated-time order. Locations have a single writer, so that
+// writer's successive clock snapshots are monotone and lastVC dominates
+// the clock of every write ever made to the location. The two records
+// together decide the race question for a read that returned iteration
+// g: any write stamped newer than g either *is* one of the two records
+// or happened before a later write that is (see classify).
+type writeRec struct {
+	maxIter int64   // highest iteration stamp written
+	maxVC   []int64 // writer clock at that write
+	lastVC  []int64 // writer clock at the last write in time order
+}
+
+// Checker is the simulated-time happens-before race classifier. It
+// maintains one vector clock per simulated task (ticked on writes and
+// sends, joined on dequeues via the pvm hooks) and classifies every DSM
+// read against the latest write of the location it read.
+//
+// The checker is strictly passive: it never perturbs virtual time, so a
+// run with checking on is event-for-event identical to the same run
+// with it off, and its verdict is deterministic in the run's seed at
+// any host worker count.
+type Checker struct {
+	eng    *sim.Engine
+	clocks [][]int64
+	latest map[int]*writeRec
+	counts metrics.RaceTelemetry
+}
+
+// New returns a checker for runs on the given engine (the engine
+// supplies virtual timestamps and the run's tracer).
+func New(eng *sim.Engine) *Checker {
+	return &Checker{eng: eng, latest: make(map[int]*writeRec)}
+}
+
+// Attach wires the checker into the machine's message hooks, composing
+// with any hooks already installed. Call it once per run, before the
+// tasks are spawned.
+func (c *Checker) Attach(m *pvm.Machine) {
+	prevSend := m.SendHook
+	m.SendHook = func(src int, msg *pvm.Message) {
+		if prevSend != nil {
+			prevSend(src, msg)
+		}
+		c.onSend(src, msg)
+	}
+	prevRecv := m.RecvHook
+	m.RecvHook = func(dst int, msg *pvm.Message) {
+		if prevRecv != nil {
+			prevRecv(dst, msg)
+		}
+		c.onRecv(dst, msg)
+	}
+}
+
+// Counts returns a snapshot of the classification counters.
+func (c *Checker) Counts() metrics.RaceTelemetry { return c.counts }
+
+// Telemetry returns the counters as the telemetry block's race summary.
+func (c *Checker) Telemetry() *metrics.RaceTelemetry {
+	t := c.counts
+	return &t
+}
+
+// vc returns task id's clock, growing the table as tasks appear.
+func (c *Checker) vc(id int) []int64 {
+	for len(c.clocks) <= id {
+		c.clocks = append(c.clocks, make([]int64, 0, 8))
+	}
+	return c.clocks[id]
+}
+
+// tick advances id's own component and returns the updated clock.
+func (c *Checker) tick(id int) []int64 {
+	clk := c.vc(id)
+	for len(clk) <= id {
+		clk = append(clk, 0)
+	}
+	clk[id]++
+	c.clocks[id] = clk
+	return clk
+}
+
+// join folds a received clock into dst's clock.
+func (c *Checker) join(dst int, other []int64) {
+	clk := c.vc(dst)
+	for len(clk) < len(other) {
+		clk = append(clk, 0)
+	}
+	for i, v := range other {
+		if v > clk[i] {
+			clk[i] = v
+		}
+	}
+	c.clocks[dst] = clk
+}
+
+// leq reports a ≤ b componentwise (absent components are zero).
+func leq(a, b []int64) bool {
+	for i, v := range a {
+		if v == 0 {
+			continue
+		}
+		if i >= len(b) || v > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshot(clk []int64) []int64 {
+	s := make([]int64, len(clk))
+	copy(s, clk)
+	return s
+}
+
+// onSend stamps an outgoing message with the sender's clock. The send
+// is a local event, so the sender ticks first; the stamp rides the
+// message (and every reliable-mode delivery copy) in Message.Aux.
+func (c *Checker) onSend(src int, msg *pvm.Message) {
+	msg.Aux = snapshot(c.tick(src))
+}
+
+// onRecv joins the message's stamp into the dequeuing task's clock —
+// the moment the payload (and everything the sender knew when sending
+// it) becomes visible to the receiving application.
+func (c *Checker) onRecv(dst int, msg *pvm.Message) {
+	if vc, ok := msg.Aux.([]int64); ok {
+		c.join(dst, vc)
+	}
+}
+
+// ObserveWrite implements core.RaceObserver: record the write with the
+// writer's post-tick clock.
+func (c *Checker) ObserveWrite(task, loc int, iter int64) {
+	c.counts.Writes++
+	clk := snapshot(c.tick(task))
+	rec := c.latest[loc]
+	if rec == nil {
+		rec = &writeRec{maxIter: iter, maxVC: clk}
+		c.latest[loc] = rec
+	} else if iter >= rec.maxIter {
+		rec.maxIter, rec.maxVC = iter, clk
+	}
+	rec.lastVC = clk
+}
+
+// ObserveRead implements core.RaceObserver: classify one finished read.
+func (c *Checker) ObserveRead(ri core.ReadInfo) {
+	if ri.TimedOut {
+		c.counts.TimedOut++
+	}
+	if !ri.HasValue {
+		c.counts.NoValue++
+		return
+	}
+	c.counts.Reads++
+	cls := c.classify(ri)
+	switch cls {
+	case Synchronized:
+		c.counts.Synchronized++
+		return
+	case ToleratedStale:
+		c.counts.ToleratedStale++
+	case Unbounded:
+		c.counts.Unbounded++
+	}
+	if tr := c.eng.Tracer(); tr != nil {
+		tr.Emit(trace.Event{TS: int64(c.eng.Now()), Ph: trace.PhaseInstant,
+			Pid: trace.PidRace, Tid: ri.Task, Cat: "simrace", Name: cls.String(),
+			K1: "loc", V1: int64(ri.Loc), K2: "got", V2: ri.GotIter})
+	}
+}
+
+// classify decides the read's class. A read of value g races iff some
+// write stamped newer than g was not ordered before the read. The
+// newest-stamped write covers the common monotone case; the
+// last-in-time write additionally catches a correction (an
+// old-iteration rewrite, as the sampler's antimessages produce) issued
+// after it — any other newer-stamped write happens before one of the
+// two, so if both are ordered before the read, the corner that remains
+// (an unordered middle write whose successors are all ordered) is
+// conservatively called synchronized.
+func (c *Checker) classify(ri core.ReadInfo) Class {
+	rec := c.latest[ri.Loc]
+	if rec == nil || rec.maxIter <= ri.GotIter {
+		// Nothing newer than what the read returned has ever been
+		// written; the read observed the frontier.
+		return Synchronized
+	}
+	vcr := c.vc(ri.Task)
+	if leq(rec.maxVC, vcr) && leq(rec.lastVC, vcr) {
+		// Every newer write happened-before the read (its knowledge had
+		// reached the reader through the message graph) — no race, even
+		// though the reader returned an older value (possible when
+		// knowledge outruns a reordered or still-queued update).
+		return Synchronized
+	}
+	if ri.Bounded {
+		// Reader-observed staleness of the racy read. (The write-side
+		// distance maxIter−GotIter would be polluted by the applications'
+		// exit-sentinel stamps, which are deliberately astronomical.)
+		if lag := ri.CurIter - ri.GotIter; lag > c.counts.MaxLag {
+			c.counts.MaxLag = lag
+		}
+	}
+	if ri.Bounded && !ri.TimedOut {
+		if s := ri.CurIter - ri.GotIter; s <= ri.Age {
+			return ToleratedStale
+		}
+	}
+	return Unbounded
+}

@@ -36,6 +36,10 @@ const (
 	// PidFaults is the fault-injection layer: scheduled drop/delay/
 	// duplicate instants and crash/partition window spans.
 	PidFaults = 6
+	// PidRace is the simulated-time race classifier: one instant per
+	// cross-process read that raced a concurrent write, named by its
+	// class (tolerated_stale or unbounded_race).
+	PidRace = 7
 )
 
 // PidName returns the layer name a pid renders under.
@@ -53,6 +57,8 @@ func PidName(pid int) string {
 		return "app"
 	case PidFaults:
 		return "faults"
+	case PidRace:
+		return "simrace"
 	default:
 		return fmt.Sprintf("pid%d", pid)
 	}
