@@ -5,6 +5,7 @@
 //	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4] [-profile quick|full]
 //	           [-trials N] [-gens N] [-procs 2,4,8,16] [-funcs 1,2,...] [-seed N]
 //	           [-workers N] [-bench-out BENCH_name.json]
+//	           [-cache-dir DIR] [-resume]
 //	           [-faults plan.json] [-reliable] [-read-timeout 50ms] [-loss P]
 //
 // The quick profile runs the full experimental structure at reduced
@@ -15,17 +16,29 @@
 // results are byte-identical at any worker count. -bench-out writes a
 // BENCH_*.json snapshot with per-sweep wall-clock throughput and the
 // standard DES microbenchmarks.
+//
+// -cache-dir journals every completed sweep cell into crash-safe,
+// content-addressed per-sweep journals under DIR. A run killed at any
+// point — even mid-write — can be restarted with -resume: journaled
+// cells replay instantly, only the lost work re-runs, and the final
+// artifacts are byte-identical to an uninterrupted run. Without
+// -resume an existing cache is discarded and rebuilt; journals whose
+// configuration fingerprint no longer matches the flags are
+// invalidated automatically.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"nscc/internal/benchio"
+	"nscc/internal/ckpt"
 	"nscc/internal/exper"
 	"nscc/internal/faults"
 	"nscc/internal/ga/functions"
@@ -50,6 +63,8 @@ func main() {
 		metOut   = flag.String("metrics-out", "", "run the instrumented demo instead of the suite and write its telemetry JSON here")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "", "write a BENCH_*.json performance snapshot to this path")
+		cacheDir = flag.String("cache-dir", "", "journal every completed sweep cell into crash-safe per-sweep journals under this directory")
+		resume   = flag.Bool("resume", false, "replay cells already journaled in -cache-dir instead of recomputing them (requires -cache-dir)")
 		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to every simulated cluster")
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
@@ -92,6 +107,15 @@ func main() {
 	}
 	opts.LossProb = *lossProb
 	opts.SimRace = *simRace
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -cache-dir")
+		os.Exit(2)
+	}
+	var store *ckpt.Store
+	if *cacheDir != "" {
+		store = ckpt.NewStore(*cacheDir, *resume)
+		opts.Ckpt = store
+	}
 	if *procs != "" {
 		opts.Procs = nil
 		for _, s := range strings.Split(*procs, ",") {
@@ -179,7 +203,7 @@ func main() {
 	}
 	if want("table2") {
 		matched = true
-		run("Table 2", exper.Table2Cells(), func() error { exper.Table2(os.Stdout, opts); return nil })
+		run("Table 2", exper.Table2Cells(), func() error { _, err := exper.Table2(os.Stdout, opts); return err })
 	}
 	if want("fig1") {
 		matched = true
@@ -192,7 +216,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			return writeCSV(*csvDir, "figure2.csv", func(w *os.File) error {
+			return writeCSV(*csvDir, "figure2.csv", func(w io.Writer) error {
 				rows := append(append([]exper.GARow{}, res.PerFunc...), res.Average...)
 				return exper.WriteGARowsCSV(w, rows)
 			})
@@ -205,7 +229,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			return writeCSV(*csvDir, "figure3.csv", func(w *os.File) error {
+			return writeCSV(*csvDir, "figure3.csv", func(w io.Writer) error {
 				return exper.WriteBayesRowsCSV(w, res)
 			})
 		})
@@ -217,7 +241,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			return writeCSV(*csvDir, "figure4.csv", func(w *os.File) error {
+			return writeCSV(*csvDir, "figure4.csv", func(w io.Writer) error {
 				rows := append(append([]exper.GARow{}, res.BestCase...), res.Average...)
 				return exper.WriteGARowsCSV(w, rows)
 			})
@@ -244,6 +268,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if store != nil {
+		// Cache accounting goes to stderr with the other meters so
+		// stdout stays byte-identical between cached, resumed, and
+		// uncached runs.
+		c := store.Counters()
+		fmt.Fprintf(os.Stderr, "-- cache: %d hits, %d misses, %d invalidated, %d torn (dir=%s)\n",
+			c.Hits, c.Misses, c.Invalidated, c.TornRecords, store.Dir())
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	if *benchOut != "" {
 		fmt.Println("running microbenchmarks...")
 		for _, m := range benchio.StandardMicros() {
@@ -257,22 +294,29 @@ func main() {
 	}
 }
 
-// writeCSV writes one CSV artifact into dir (no-op when dir is empty).
-func writeCSV(dir, name string, fill func(*os.File) error) error {
+// writeCSV writes one CSV artifact into dir (no-op when dir is empty)
+// through the atomic writer: the file appears complete or not at all,
+// and flush/close errors propagate instead of vanishing in a deferred
+// Close.
+func writeCSV(dir, name string, fill func(io.Writer) error) error {
 	if dir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(dir + "/" + name)
+	path := filepath.Join(dir, name)
+	f, err := ckpt.CreateAtomic(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := fill(f); err != nil {
+		f.Abort()
 		return err
 	}
-	fmt.Printf("wrote %s/%s\n", dir, name)
+	if err := f.Commit(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -9,9 +9,10 @@ package benchio
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
+
+	"nscc/internal/ckpt"
 )
 
 // Micro is one microbenchmark's measurement.
@@ -75,7 +76,9 @@ func (s *Snapshot) RunMicro(name string, fn func(b *testing.B)) {
 }
 
 // WriteFile writes the snapshot as indented JSON (a no-op when path is
-// empty).
+// empty). The write is atomic — temp file, fsync, rename — so a crash
+// mid-write can never leave a truncated BENCH_*.json at the committed
+// trajectory path.
 func WriteFile(path string, s *Snapshot) error {
 	if path == "" {
 		return nil
@@ -85,7 +88,7 @@ func WriteFile(path string, s *Snapshot) error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := ckpt.WriteFileAtomic(path, data); err != nil {
 		return fmt.Errorf("benchio: %w", err)
 	}
 	return nil

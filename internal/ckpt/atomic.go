@@ -1,0 +1,111 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicFile stages a write in a hidden temp file in the target's
+// directory and publishes it with a rename, so the path either keeps
+// its previous content or holds the complete new content — never a
+// truncated intermediate. It is the one way any artifact in this
+// repository (traces, metrics, BENCH_*.json, CSV figures, checkpoint
+// journals on reset) reaches its final name.
+//
+// Unlike the bare os.Create + defer f.Close() idiom it replaces,
+// Commit propagates every error on the write-back path: Sync (so a
+// power cut after Commit returns cannot lose the content), Close
+// (where buffered write-back errors surface), and the rename itself.
+type AtomicFile struct {
+	f    *os.File
+	path string // final destination
+	done bool   // Commit or Abort already ran
+}
+
+// CreateAtomic opens an atomic writer targeting path. The caller must
+// finish with exactly one of Commit or Abort; until Commit, path is
+// untouched.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: create temp for %s: %w", path, err)
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write appends to the staged content (io.Writer).
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit durably publishes the staged content at the target path:
+// fsync, close (propagated), chmod to the conventional artifact mode,
+// rename, and a best-effort directory sync so the rename itself
+// survives a crash.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("ckpt: Commit on finished atomic write of %s", a.path)
+	}
+	a.done = true
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: sync %s: %w", a.path, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: close %s: %w", a.path, err)
+	}
+	// CreateTemp opens 0600; artifacts are world-readable like
+	// os.Create's 0666 & umask.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: chmod %s: %w", a.path, err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ckpt: publish %s: %w", a.path, err)
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Abort discards the staged content, leaving the target path exactly
+// as it was. Safe to call after a failed Commit (it becomes a no-op).
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	tmp := a.f.Name()
+	a.f.Close()
+	os.Remove(tmp)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Best-effort: some filesystems reject directory fsync, and the
+// content write itself has already been synced.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// WriteFileAtomic is the one-shot form: write data to path through an
+// AtomicFile. The visible file is always either the previous version
+// or the complete new one.
+func WriteFileAtomic(path string, data []byte) error {
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	if _, err := a.Write(data); err != nil {
+		a.Abort()
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	return a.Commit()
+}

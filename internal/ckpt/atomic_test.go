@@ -1,0 +1,141 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readFile fails the test on error so assertions stay one-liners.
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// entryCount reports how many directory entries exist — any count above
+// the expected artifacts means a leaked temp file.
+func entryCount(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "v1" {
+		t.Fatalf("content %q", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("mode %v, want 0644", fi.Mode().Perm())
+	}
+	// Overwrite replaces wholesale and leaves no temp debris.
+	if err := WriteFileAtomic(path, []byte("version-two")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "version-two" {
+		t.Fatalf("content after overwrite %q", got)
+	}
+	if n := entryCount(t, dir); n != 1 {
+		t.Fatalf("%d entries in dir, want only the target", n)
+	}
+}
+
+func TestAtomicStagedWriteInvisibleUntilCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.csv")
+	if err := WriteFileAtomic(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("new content, ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("two chunks")); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-write — the simulated crash window — the target still holds
+	// the complete previous version.
+	if got := readFile(t, path); got != "old" {
+		t.Fatalf("target changed mid-write: %q", got)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "new content, two chunks" {
+		t.Fatalf("content after commit %q", got)
+	}
+	if err := a.Commit(); err == nil {
+		t.Fatal("second Commit did not error")
+	}
+	if n := entryCount(t, dir); n != 1 {
+		t.Fatalf("%d entries in dir, want only the target", n)
+	}
+}
+
+func TestAtomicAbortKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	if err := WriteFileAtomic(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("half-written junk")); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort()
+	a.Abort() // idempotent
+	if got := readFile(t, path); got != "good" {
+		t.Fatalf("abort damaged target: %q", got)
+	}
+	if n := entryCount(t, dir); n != 1 {
+		t.Fatalf("%d entries in dir after abort, want only the target", n)
+	}
+}
+
+func TestAtomicCreatesNewFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.txt")
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("target exists before Commit")
+	}
+	if _, err := a.Write([]byte("born atomic")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "born atomic" {
+		t.Fatalf("content %q", got)
+	}
+}
+
+func TestAtomicMissingDirErrors(t *testing.T) {
+	if _, err := CreateAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Fatal("CreateAtomic in a missing directory did not error")
+	}
+}

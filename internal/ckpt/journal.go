@@ -1,0 +1,302 @@
+// Package ckpt makes long experiment sweeps crash-safe: a
+// content-addressed result cache journaled to disk, plus the atomic
+// artifact writer every output path in the repository shares.
+//
+// Each sweep cell's result is appended to a per-sweep journal as a
+// CRC-framed record keyed by a fingerprint of the cell's coordinates
+// and derived seed; the journal header carries a second fingerprint of
+// the configuration space (config knobs plus schema version). On
+// restart the journal is replayed: valid records satisfy their cells
+// instantly, a torn tail record — the kill-mid-write case — is
+// truncated away so only that cell re-runs, and a header fingerprint
+// mismatch invalidates the whole journal. Because every cell is a
+// fully seeded deterministic simulation, a resumed sweep's output is
+// byte-identical to an uninterrupted run at any worker count.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nscc/internal/metrics"
+)
+
+// journalMagic identifies (and versions) the journal file format.
+const journalMagic = "NSCKPT1\n"
+
+// frameHdrLen is the per-record frame header: uint32 LE payload
+// length, uint32 LE CRC-32C of the payload.
+const frameHdrLen = 8
+
+// maxFrameLen bounds a single record so a corrupt length field cannot
+// trigger a huge allocation during recovery.
+const maxFrameLen = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal is one sweep's crash-safe result cache: an append-only file
+// of CRC-framed (key, value) records behind an in-memory index. All
+// methods are safe for concurrent use by pool workers.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	index    map[Key][]byte
+	counters metrics.CacheTelemetry
+}
+
+// OpenJournal opens (or creates) the journal at path for the
+// configuration space identified by space.
+//
+// With resume=false any existing journal is discarded and a fresh one
+// started. With resume=true an existing journal is recovered: records
+// up to the first invalid frame are indexed, a torn tail is truncated
+// in place (counted in TornRecords), and a journal whose header space
+// fingerprint differs from space is invalidated wholesale (its record
+// count lands in Invalidated).
+func OpenJournal(path string, space Key, resume bool) (*Journal, error) {
+	j := &Journal{path: path, index: make(map[Key][]byte)}
+	fresh := true
+	if resume {
+		data, err := os.ReadFile(path)
+		switch {
+		case err == nil:
+			validLen, spaceOK := j.load(data, space)
+			if spaceOK {
+				fresh = false
+				if validLen < int64(len(data)) {
+					j.counters.TornRecords++
+					if err := os.Truncate(path, validLen); err != nil {
+						return nil, fmt.Errorf("ckpt: truncate torn tail of %s: %w", path, err)
+					}
+				}
+			}
+		case !os.IsNotExist(err):
+			return nil, fmt.Errorf("ckpt: read journal %s: %w", path, err)
+		}
+	}
+	if fresh {
+		j.index = make(map[Key][]byte)
+		header := appendFrame([]byte(journalMagic), space[:])
+		if err := WriteFileAtomic(path, header); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: open journal %s for append: %w", path, err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// load parses data, filling the index with every valid record. It
+// returns the byte length of the valid prefix and whether the header's
+// space fingerprint matched (false means the journal must be reset;
+// the index is left empty and the discarded records are counted as
+// invalidated).
+func (j *Journal) load(data []byte, space Key) (validLen int64, spaceOK bool) {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return 0, false
+	}
+	off := int64(len(journalMagic))
+	header, next, ok := parseFrame(data, off)
+	if !ok || len(header) != len(space) {
+		return 0, false
+	}
+	spaceOK = string(header) == string(space[:])
+	off = next
+	records := int64(0)
+	for {
+		payload, next, ok := parseFrame(data, off)
+		if !ok {
+			break
+		}
+		if len(payload) >= len(Key{}) {
+			var k Key
+			copy(k[:], payload)
+			if spaceOK {
+				j.index[k] = append([]byte(nil), payload[len(k):]...)
+			}
+		}
+		records++
+		off = next
+	}
+	if !spaceOK {
+		j.counters.Invalidated += records
+		return 0, false
+	}
+	return off, true
+}
+
+// parseFrame decodes the frame at off. ok is false when the frame is
+// truncated or its CRC fails — i.e. everything from off on is a torn
+// or corrupt tail.
+func parseFrame(data []byte, off int64) (payload []byte, next int64, ok bool) {
+	if off+frameHdrLen > int64(len(data)) {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n > maxFrameLen || off+frameHdrLen+n > int64(len(data)) {
+		return nil, 0, false
+	}
+	payload = data[off+frameHdrLen : off+frameHdrLen+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, 0, false
+	}
+	return payload, off + frameHdrLen + n, true
+}
+
+// appendFrame appends one length+CRC framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Get returns the cached value for key, counting the hit or miss.
+func (j *Journal) Get(key Key) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.index[key]
+	if ok {
+		j.counters.Hits++
+	} else {
+		j.counters.Misses++
+	}
+	return v, ok
+}
+
+// Put appends one (key, value) record and fsyncs it, so a completed
+// cell survives any later crash. The frame is written with a single
+// Write call; a kill mid-write leaves at worst one torn tail record,
+// which the next OpenJournal truncates away.
+func (j *Journal) Put(key Key, value []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	payload := make([]byte, 0, len(key)+len(value))
+	payload = append(payload, key[:]...)
+	payload = append(payload, value...)
+	if _, err := j.f.Write(appendFrame(nil, payload)); err != nil {
+		return fmt.Errorf("ckpt: append to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync %s: %w", j.path, err)
+	}
+	j.index[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Len reports the number of cached cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.index)
+}
+
+// Counters snapshots the journal's hit/miss/invalidation accounting.
+func (j *Journal) Counters() metrics.CacheTelemetry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.counters
+}
+
+// Close syncs and closes the journal file, propagating both errors.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: sync %s: %w", j.path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ckpt: close %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Store manages the per-sweep journals of one cache directory and
+// aggregates their counters. A nil *Store disables caching wherever
+// one is accepted.
+type Store struct {
+	dir    string
+	resume bool
+
+	mu       sync.Mutex
+	journals map[string]*Journal
+	spaces   map[string]Key
+	order    []string // open order, for deterministic aggregation
+}
+
+// NewStore roots a cache at dir. resume selects whether existing
+// journals are recovered (see OpenJournal).
+func NewStore(dir string, resume bool) *Store {
+	return &Store{dir: dir, resume: resume, journals: make(map[string]*Journal), spaces: make(map[string]Key)}
+}
+
+// Dir reports the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Journal opens (once) the named sweep's journal under the store
+// directory. A second open of the same name must present the same
+// space fingerprint.
+func (s *Store) Journal(name string, space Key) (*Journal, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.journals[name]; ok {
+		if s.spaces[name] != space {
+			return nil, fmt.Errorf("ckpt: journal %q reopened with a different space fingerprint (%s vs %s)",
+				name, space, s.spaces[name])
+		}
+		return j, nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create cache dir: %w", err)
+	}
+	j, err := OpenJournal(filepath.Join(s.dir, name+".ckpt"), space, s.resume)
+	if err != nil {
+		return nil, err
+	}
+	s.journals[name] = j
+	s.spaces[name] = space
+	s.order = append(s.order, name)
+	return j, nil
+}
+
+// Counters sums the counters of every journal opened so far.
+func (s *Store) Counters() metrics.CacheTelemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total metrics.CacheTelemetry
+	for _, name := range s.order {
+		total.Add(s.journals[name].Counters())
+	}
+	return total
+}
+
+// Close closes every journal in open order, returning the first error.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, name := range s.order {
+		if err := s.journals[name].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.journals = make(map[string]*Journal)
+	s.order = nil
+	return first
+}

@@ -1,0 +1,305 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testSpace fingerprints a labeled configuration space.
+func testSpace(label string) Key {
+	fp := NewFingerprint("test/space")
+	fp.Str("label", label)
+	return fp.Sum()
+}
+
+// testKey fingerprints cell i.
+func testKey(i int) Key {
+	fp := NewFingerprint("test/cell")
+	fp.I64("i", int64(i))
+	return fp.Sum()
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	space := testSpace("rt")
+	j, err := OpenJournal(path, space, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := [][]byte{[]byte(`{"v":1}`), []byte(`{"v":2.5}`), []byte(`{"v":"three"}`)}
+	for i, v := range vals {
+		if err := j.Put(testKey(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err = OpenJournal(path, space, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != len(vals) {
+		t.Fatalf("recovered %d records, want %d", j.Len(), len(vals))
+	}
+	for i, want := range vals {
+		got, ok := j.Get(testKey(i))
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %q ok=%v, want %q", i, got, ok, want)
+		}
+	}
+	if _, ok := j.Get(testKey(99)); ok {
+		t.Fatal("phantom hit for unknown key")
+	}
+	c := j.Counters()
+	if c.Hits != int64(len(vals)) || c.Misses != 1 || c.TornRecords != 0 || c.Invalidated != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestJournalResumeFalseDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	space := testSpace("fresh")
+	j, err := OpenJournal(path, space, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Put(testKey(0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Same space, but resume not requested: the cache must start empty.
+	j, err = OpenJournal(path, space, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("fresh open kept %d records", j.Len())
+	}
+	j.Close()
+
+	// And the reset is on disk, not just in memory.
+	j, err = OpenJournal(path, space, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("reset journal still holds %d records on disk", j.Len())
+	}
+	j.Close()
+}
+
+func TestJournalSpaceMismatchInvalidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	j, err := OpenJournal(path, testSpace("config-A"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Put(testKey(i), []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j, err = OpenJournal(path, testSpace("config-B"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("stale records survived a space change: %d", j.Len())
+	}
+	if c := j.Counters(); c.Invalidated != 3 {
+		t.Fatalf("invalidated %d, want 3", c.Invalidated)
+	}
+	if err := j.Put(testKey(0), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// The rewritten journal now belongs to config-B.
+	j, err = OpenJournal(path, testSpace("config-B"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := j.Get(testKey(0)); !ok || string(v) != "b" {
+		t.Fatalf("got %q ok=%v after reset", v, ok)
+	}
+	j.Close()
+}
+
+// TestJournalTornTailEveryOffset is the kill-mid-write simulation: the
+// journal file is truncated at every byte offset, and recovery must
+// (a) never error, (b) keep exactly the records whose frames are
+// complete, (c) count one torn record when partial tail bytes exist,
+// and (d) leave the file appendable.
+func TestJournalTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.ckpt")
+	space := testSpace("torn")
+	j, err := OpenJournal(ref, space, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := [][]byte{[]byte(`{"v":1}`), []byte(`{"value":22}`), []byte(`{"v":333,"w":4}`)}
+	for i, v := range vals {
+		if err := j.Put(testKey(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries: end of the header frame, then each record's end.
+	hEnd := int64(len(journalMagic)) + frameHdrLen + int64(len(Key{}))
+	bounds := []int64{hEnd}
+	off := hEnd
+	for _, v := range vals {
+		off += frameHdrLen + int64(len(Key{})) + int64(len(v))
+		bounds = append(bounds, off)
+	}
+	if off != int64(len(data)) {
+		t.Fatalf("boundary arithmetic off: %d vs file %d", off, len(data))
+	}
+
+	path := filepath.Join(dir, "torn.ckpt")
+	for L := int64(0); L <= int64(len(data)); L++ {
+		if err := os.WriteFile(path, data[:L], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(path, space, true)
+		if err != nil {
+			t.Fatalf("L=%d: recovery errored: %v", L, err)
+		}
+		// Complete records and torn-tail accounting expected at this cut.
+		wantRecs, lastGood := 0, hEnd
+		for _, b := range bounds[1:] {
+			if b <= L {
+				wantRecs++
+				lastGood = b
+			}
+		}
+		headerOK := L >= hEnd
+		if !headerOK {
+			wantRecs, lastGood = 0, 0
+		}
+		if j.Len() != wantRecs {
+			t.Fatalf("L=%d: recovered %d records, want %d", L, j.Len(), wantRecs)
+		}
+		wantTorn := int64(0)
+		if headerOK && lastGood < L {
+			wantTorn = 1
+		}
+		if c := j.Counters(); c.TornRecords != wantTorn {
+			t.Fatalf("L=%d: torn=%d, want %d", L, c.TornRecords, wantTorn)
+		}
+		for i := 0; i < wantRecs; i++ {
+			v, ok := j.Get(testKey(i))
+			if !ok || !bytes.Equal(v, vals[i]) {
+				t.Fatalf("L=%d: record %d corrupted by recovery: %q ok=%v", L, i, v, ok)
+			}
+		}
+		// The recovered journal must accept and persist new records.
+		if err := j.Put(testKey(100), []byte("appended")); err != nil {
+			t.Fatalf("L=%d: append after recovery: %v", L, err)
+		}
+		j.Close()
+		j2, err := OpenJournal(path, space, true)
+		if err != nil {
+			t.Fatalf("L=%d: reopen after append: %v", L, err)
+		}
+		if j2.Len() != wantRecs+1 {
+			t.Fatalf("L=%d: reopen holds %d records, want %d", L, j2.Len(), wantRecs+1)
+		}
+		j2.Close()
+	}
+}
+
+func TestJournalCorruptRecordDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	space := testSpace("crc")
+	j, err := OpenJournal(path, space, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Put(testKey(i), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Flip a byte in the last record's payload: the CRC must reject it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err = OpenJournal(path, space, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 1 {
+		t.Fatalf("recovered %d records, want 1 (corrupt tail dropped)", j.Len())
+	}
+	if c := j.Counters(); c.TornRecords != 1 {
+		t.Fatalf("torn=%d, want 1", c.TornRecords)
+	}
+	if _, ok := j.Get(testKey(0)); !ok {
+		t.Fatal("intact first record lost")
+	}
+}
+
+func TestStoreJournalsAndCounters(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir, false)
+	if s.Dir() != dir {
+		t.Fatalf("dir %q", s.Dir())
+	}
+	a, err := s.Journal("alpha", testSpace("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Journal("alpha", testSpace("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Fatal("same-name journal not memoized")
+	}
+	if _, err := s.Journal("alpha", testSpace("B")); err == nil {
+		t.Fatal("reopening a journal under a different space fingerprint did not error")
+	}
+	b, err := s.Journal("beta", testSpace("B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(testKey(1), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	a.Get(testKey(1)) // hit on alpha
+	b.Get(testKey(2)) // miss on beta
+	if c := s.Counters(); c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("aggregated counters %+v", c)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha.ckpt", "beta.ckpt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("journal file %s: %v", name, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"nscc/internal/ckpt"
 	"nscc/internal/core"
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
@@ -66,16 +67,25 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 
 	// Stage 1: references. One job per (load, trial); each returns the
 	// serial baseline time and the synchronous run's final average (the
-	// quality target of stage 2's runs at that load and trial).
+	// quality target of stage 2's runs at that load and trial). Fields
+	// are exported because this is a checkpoint-journal payload.
 	type refOut struct {
-		serial sim.Duration
-		target float64
+		Serial sim.Duration `json:"serial"`
+		Target float64      `json:"target"`
 	}
 	nLoads, nTrials := len(loads), opts.Trials
-	refs, err := runner.Map(nLoads*nTrials, opts.Workers,
+	refMemo, err := opts.sweepMemo("agesweep-refs", func(i int) ckpt.Key {
+		load, trial := loads[i/nTrials], i%nTrials
+		return ageRefKey(fn, p, load, trial, ageSweepSeed(opts, trial))
+	})
+	if err != nil {
+		return res, err
+	}
+	refs, err := runner.MapMemo(nLoads*nTrials, opts.Workers,
 		func(i int) string {
 			return fmt.Sprintf("agesweep ref load=%.1fMbps trial=%d", loads[i/nTrials]/1e6, i%nTrials)
 		},
+		refMemo,
 		func(i int) (refOut, error) {
 			load, trial := loads[i/nTrials], i%nTrials
 			seed := ageSweepSeed(opts, trial)
@@ -95,20 +105,21 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			if err != nil {
 				return refOut{}, err
 			}
-			return refOut{serial: serial.Time, target: syncRes.Avg}, nil
+			return refOut{Serial: serial.Time, Target: syncRes.Avg}, nil
 		})
 	if err != nil {
 		return res, err
 	}
 
 	// Stage 2: the sweep surface. Age index len(ageSweepAges) is the
-	// dynamic-age pseudo-point.
+	// dynamic-age pseudo-point. Fields exported: checkpoint-journal
+	// payload.
 	type cellOut struct {
-		comp      sim.Duration
-		blocked   sim.Duration
-		warp      float64
-		tolerated int64
-		unbounded int64
+		Comp      sim.Duration `json:"comp"`
+		Blocked   sim.Duration `json:"blocked"`
+		Warp      float64      `json:"warp"`
+		Tolerated int64        `json:"tolerated,omitempty"`
+		Unbounded int64        `json:"unbounded,omitempty"`
 	}
 	nAges := len(ageSweepAges) + 1
 	cellAge := func(ai int) (age int64, dynamic bool) {
@@ -117,7 +128,15 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 		}
 		return ageSweepAges[ai], false
 	}
-	outs, err := runner.Map(nLoads*nAges*nTrials, opts.Workers,
+	cellMemo, err := opts.sweepMemo("agesweep-cells", func(i int) ckpt.Key {
+		li, ai, trial := i/(nAges*nTrials), (i/nTrials)%nAges, i%nTrials
+		age, dynamic := cellAge(ai)
+		return ageCellKey(fn, p, loads[li], age, dynamic, trial, ageSweepSeed(opts, trial))
+	})
+	if err != nil {
+		return res, err
+	}
+	outs, err := runner.MapMemo(nLoads*nAges*nTrials, opts.Workers,
 		func(i int) string {
 			li, ai, trial := i/(nAges*nTrials), (i/nTrials)%nAges, i%nTrials
 			age, dynamic := cellAge(ai)
@@ -127,6 +146,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			}
 			return fmt.Sprintf("agesweep load=%.1fMbps %s trial=%d", loads[li]/1e6, name, trial)
 		},
+		cellMemo,
 		func(i int) (cellOut, error) {
 			li, ai, trial := i/(nAges*nTrials), (i/nTrials)%nAges, i%nTrials
 			age, dynamic := cellAge(ai)
@@ -135,12 +155,12 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				Fn: fn, Par: par, P: p, Mode: core.NonStrict, Age: age,
 				FixedGens: opts.SyncGens, MinGens: opts.SyncGens,
 				MaxGens: int64(opts.CapFactor * float64(opts.SyncGens)),
-				Target:  refs[li*nTrials+trial].target,
+				Target:  refs[li*nTrials+trial].Target,
 				Seed:    seed, Calib: calib, LoaderBps: loads[li],
 				DynamicAge: dynamic,
 				Net:        opts.netOverride(),
 				Faults:     opts.Faults, Reliable: opts.Reliable, ReadTimeout: opts.ReadTimeout,
-				RaceCheck:  opts.SimRace,
+				RaceCheck: opts.SimRace,
 			}
 			if opts.UseSwitch {
 				sw := netsim.DefaultSwitchConfig()
@@ -150,9 +170,9 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			if err != nil {
 				return cellOut{}, err
 			}
-			out := cellOut{comp: r.Completion, blocked: r.BlockedTime, warp: r.WarpMean}
+			out := cellOut{Comp: r.Completion, Blocked: r.BlockedTime, Warp: r.WarpMean}
 			if rt := r.Telemetry.Races; rt != nil {
-				out.tolerated, out.unbounded = rt.ToleratedStale, rt.Unbounded
+				out.Tolerated, out.Unbounded = rt.ToleratedStale, rt.Unbounded
 			}
 			return out, nil
 		})
@@ -164,7 +184,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 	for li, load := range loads {
 		var serialSum sim.Duration
 		for trial := 0; trial < nTrials; trial++ {
-			serialSum += refs[li*nTrials+trial].serial
+			serialSum += refs[li*nTrials+trial].Serial
 		}
 		for ai := 0; ai < nAges; ai++ {
 			age, dynamic := cellAge(ai)
@@ -173,11 +193,11 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			var warpSum float64
 			for trial := 0; trial < nTrials; trial++ {
 				out := outs[(li*nAges+ai)*nTrials+trial]
-				compSum += out.comp
-				row.Blocked += out.blocked
-				warpSum += out.warp
-				row.Tolerated += out.tolerated
-				row.Unbounded += out.unbounded
+				compSum += out.Comp
+				row.Blocked += out.Blocked
+				warpSum += out.Warp
+				row.Tolerated += out.Tolerated
+				row.Unbounded += out.Unbounded
 			}
 			row.Speedup = ratio(serialSum, compSum)
 			row.Warp = warpSum / float64(nTrials)

@@ -1,0 +1,119 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nscc/internal/bayes"
+	"nscc/internal/ckpt"
+	"nscc/internal/ga/functions"
+	"nscc/internal/runner"
+)
+
+// ckptSchema versions the cached cell payloads. Bump it whenever a
+// journaled struct (trialOut, bayesTrialOut, ageRefOut, ageCellOut,
+// Table2Row) or the semantics of a cell change, so stale journals
+// invalidate instead of replaying wrong bytes.
+const ckptSchema = 1
+
+// sweepSpace fingerprints everything outside a cell's own coordinates
+// that determines its result: the schema version, the sweep identity,
+// and every Options knob that reaches the simulations. Trials, Procs,
+// and Workers are deliberately absent — they select which cells exist
+// (or how they are scheduled), not what any one cell computes, so a
+// shortened or re-parallelized rerun still hits.
+func (o Options) sweepSpace(sweep string) ckpt.Key {
+	fp := ckpt.NewFingerprint("nscc/exper/space")
+	fp.I64("schema", ckptSchema)
+	fp.Str("sweep", sweep)
+	fp.I64("seed", o.Seed)
+	fp.I64("sync_gens", o.SyncGens)
+	fp.F64("cap_factor", o.CapFactor)
+	fp.F64("precision", o.Precision)
+	fp.Bool("switch", o.UseSwitch)
+	fp.Bool("reliable", o.Reliable)
+	fp.I64("read_timeout", int64(o.ReadTimeout))
+	fp.F64("loss", o.LossProb)
+	fp.Bool("simrace", o.SimRace)
+	if o.Faults != nil {
+		// The plan is identified by its canonical JSON; a plan that
+		// cannot marshal could not have been loaded in the first place.
+		data, err := json.Marshal(o.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("exper: fingerprint fault plan: %v", err))
+		}
+		fp.Str("faults", string(data))
+	}
+	return fp.Sum()
+}
+
+// sweepMemo opens the named sweep's journal in the configured store
+// and binds the job index → cell fingerprint mapping. It returns a
+// typed nil interface when no store is configured, which runner.MapMemo
+// treats as plain Map.
+func (o Options) sweepMemo(sweep string, key func(int) ckpt.Key) (runner.Memo, error) {
+	if o.Ckpt == nil {
+		return nil, nil
+	}
+	m, err := o.Ckpt.Memo(sweep, o.sweepSpace(sweep), key, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// cellFingerprint starts a cell key in the given sweep's coordinate
+// space.
+func cellFingerprint(sweep string) *ckpt.Fingerprint {
+	fp := ckpt.NewFingerprint("nscc/exper/cell")
+	fp.Str("sweep", sweep)
+	return fp
+}
+
+// gaCellKey fingerprints one (function, P, load, trial) GA cell and
+// its derived seed.
+func gaCellKey(sweep string, fn *functions.Function, p int, load float64, trial int, seed int64) ckpt.Key {
+	fp := cellFingerprint(sweep)
+	fp.I64("fn", int64(fn.No))
+	fp.I64("p", int64(p))
+	fp.F64("load", load)
+	fp.I64("trial", int64(trial))
+	fp.I64("seed", seed)
+	return fp.Sum()
+}
+
+// bayesCellKey fingerprints one (network, trial) inference cell.
+func bayesCellKey(sweep string, bn *bayes.Network, trial int, seed int64) ckpt.Key {
+	fp := cellFingerprint(sweep)
+	fp.Str("net", bn.Name)
+	fp.I64("trial", int64(trial))
+	fp.I64("seed", seed)
+	return fp.Sum()
+}
+
+// ageRefKey fingerprints one age-sweep reference cell: the (load,
+// trial) serial baseline + synchronous target run for fn on p
+// processors.
+func ageRefKey(fn *functions.Function, p int, load float64, trial int, seed int64) ckpt.Key {
+	fp := cellFingerprint("agesweep-refs")
+	fp.I64("fn", int64(fn.No))
+	fp.I64("p", int64(p))
+	fp.F64("load", load)
+	fp.I64("trial", int64(trial))
+	fp.I64("seed", seed)
+	return fp.Sum()
+}
+
+// ageCellKey fingerprints one (load, age, trial) age-sweep cell; the
+// dynamic-age pseudo-point is distinguished from fixed age 1.
+func ageCellKey(fn *functions.Function, p int, load float64, age int64, dynamic bool, trial int, seed int64) ckpt.Key {
+	fp := cellFingerprint("agesweep-cells")
+	fp.I64("fn", int64(fn.No))
+	fp.I64("p", int64(p))
+	fp.F64("load", load)
+	fp.I64("age", age)
+	fp.Bool("dynamic", dynamic)
+	fp.I64("trial", int64(trial))
+	fp.I64("seed", seed)
+	return fp.Sum()
+}

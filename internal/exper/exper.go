@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"nscc/internal/ckpt"
 	"nscc/internal/core"
 	"nscc/internal/faults"
 	"nscc/internal/ga"
@@ -37,6 +38,28 @@ func (v Variant) String() string {
 		return fmt.Sprintf("gr(%d)", v.Age)
 	}
 	return v.Mode.String()
+}
+
+// MarshalText lets Variant serve as a JSON map key in the cached cell
+// payloads the checkpoint journal stores.
+func (v Variant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses the String form back ("sync", "async", "gr(N)").
+func (v *Variant) UnmarshalText(text []byte) error {
+	s := string(text)
+	switch s {
+	case core.Sync.String():
+		*v = Variant{Mode: core.Sync}
+	case core.Async.String():
+		*v = Variant{Mode: core.Async}
+	default:
+		var age int64
+		if _, err := fmt.Sscanf(s, "gr(%d)", &age); err != nil {
+			return fmt.Errorf("exper: unknown variant %q", s)
+		}
+		*v = Variant{Mode: core.NonStrict, Age: age}
+	}
+	return nil
 }
 
 // Variants returns the paper's comparison set: sync, async, and
@@ -85,6 +108,14 @@ type Options struct {
 	// that report them. Strictly passive: cells keep byte-identical
 	// virtual time with it on or off.
 	SimRace bool
+	// Ckpt, if non-nil, journals every sweep cell's result in a
+	// crash-safe content-addressed cache: on a rerun (the store's
+	// resume mode) cells whose fingerprint — coordinates, derived seed,
+	// config knobs, schema version — is already journaled replay
+	// instantly instead of recomputing, and the sweep output stays
+	// byte-identical to an uninterrupted, uncached run at any worker
+	// count.
+	Ckpt *ckpt.Store
 }
 
 // netOverride returns the bus config override the fault knobs imply,
@@ -170,13 +201,15 @@ type GARow struct {
 // metric needs raw times ("the ratio of the sum of the execution times
 // for the serial program for all the benchmarks to that for the
 // parallel programs"), so times rather than ratios are returned.
-// trialOut is one gaTrial's raw measurements.
+// trialOut is one gaTrial's raw measurements. Its fields are exported
+// (and Variant is a text-marshaling map key) because trialOut is the
+// payload the checkpoint journal caches as JSON.
 type trialOut struct {
-	serial sim.Duration
-	times  map[Variant]sim.Duration
-	found  map[Variant]bool
-	missed map[Variant]bool
-	warp   map[Variant]float64
+	Serial sim.Duration             `json:"serial"`
+	Times  map[Variant]sim.Duration `json:"times"`
+	Found  map[Variant]bool         `json:"found"`
+	Missed map[Variant]bool         `json:"missed"`
+	Warp   map[Variant]float64      `json:"warp"`
 }
 
 func gaTrial(fn *functions.Function, p int, seed int64, opts Options, loadBps float64) (trialOut, error) {
@@ -204,17 +237,17 @@ func gaTrial(fn *functions.Function, p int, seed int64, opts Options, loadBps fl
 	}
 
 	out := trialOut{
-		serial: serial.Time,
-		times:  make(map[Variant]sim.Duration),
-		found:  make(map[Variant]bool),
-		missed: make(map[Variant]bool),
-		warp:   make(map[Variant]float64),
+		Serial: serial.Time,
+		Times:  make(map[Variant]sim.Duration),
+		Found:  make(map[Variant]bool),
+		Missed: make(map[Variant]bool),
+		Warp:   make(map[Variant]float64),
 	}
 	record := func(v Variant, r ga.IslandResult) {
-		out.times[v] = r.Completion
-		out.found[v] = r.OptimumFound
-		out.missed[v] = !r.ReachedTarget
-		out.warp[v] = r.WarpMean
+		out.Times[v] = r.Completion
+		out.Found[v] = r.OptimumFound
+		out.Missed[v] = !r.ReachedTarget
+		out.Warp[v] = r.WarpMean
 	}
 
 	syncCfg := base
@@ -281,21 +314,21 @@ func newGASums() *gaSums {
 }
 
 func (a *gaSums) add(out trialOut) {
-	a.serial += out.serial
-	for v, t := range out.times {
+	a.serial += out.Serial
+	for v, t := range out.Times {
 		a.comp[v] += t
 	}
-	for v, ok := range out.found {
+	for v, ok := range out.Found {
 		if ok {
 			a.found[v]++
 		}
 	}
-	for v, miss := range out.missed {
+	for v, miss := range out.Missed {
 		if miss {
 			a.missed[v]++
 		}
 	}
-	for v, w := range out.warp {
+	for v, w := range out.Warp {
 		a.warp[v] += w
 	}
 	a.trials++

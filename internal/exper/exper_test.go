@@ -65,7 +65,10 @@ func TestTable1(t *testing.T) {
 func TestTable2(t *testing.T) {
 	var buf bytes.Buffer
 	opts := tinyOpts()
-	rows := Table2(&buf, opts)
+	rows, err := Table2(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("%d rows", len(rows))
 	}

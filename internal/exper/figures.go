@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"nscc/internal/bayes"
+	"nscc/internal/ckpt"
 	"nscc/internal/core"
 	"nscc/internal/ga/functions"
 	"nscc/internal/runner"
@@ -24,13 +25,22 @@ type gaCellRef struct {
 }
 
 // runGACells executes one trial per cell on the pool, returning the
-// outputs in cell order. ctx names the calling figure in errors.
+// outputs in cell order. ctx names the calling figure in errors and
+// the sweep's checkpoint journal, where every cell result is cached.
 func runGACells(ctx string, cells []gaCellRef, opts Options) ([]trialOut, error) {
-	return runner.Map(len(cells), opts.Workers,
+	memo, err := opts.sweepMemo(ctx, func(i int) ckpt.Key {
+		c := cells[i]
+		return gaCellKey(ctx, c.fn, c.p, c.load, c.trial, gaCellSeed(opts, c.trial, c.fn, c.p))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runner.MapMemo(len(cells), opts.Workers,
 		func(i int) string {
 			c := cells[i]
 			return fmt.Sprintf("%s F%d P=%d load=%.1fMbps trial=%d", ctx, c.fn.No, c.p, c.load/1e6, c.trial)
 		},
+		memo,
 		func(i int) (trialOut, error) {
 			c := cells[i]
 			return gaTrial(c.fn, c.p, gaCellSeed(opts, c.trial, c.fn, c.p), opts, c.load)
@@ -200,12 +210,13 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 
 	// One job per (network, trial): the serial reference plus every
 	// variant, all sharing the trial seed (the paired comparison the
-	// paper's average metric needs).
+	// paper's average metric needs). Fields are exported because this
+	// is the payload the checkpoint journal caches as JSON.
 	type bayesTrialOut struct {
-		serial    sim.Duration
-		par       map[Variant]sim.Duration
-		rollbacks map[Variant]int64
-		iters     map[Variant]int64
+		Serial    sim.Duration             `json:"serial"`
+		Par       map[Variant]sim.Duration `json:"par"`
+		Rollbacks map[Variant]int64        `json:"rollbacks"`
+		Iters     map[Variant]int64        `json:"iters"`
 	}
 	type bayesCellRef struct {
 		net   *bayes.Network
@@ -217,10 +228,19 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 			cells = append(cells, bayesCellRef{net: bn, trial: trial})
 		}
 	}
-	outs, err := runner.Map(len(cells), opts.Workers,
+	memo, err := opts.sweepMemo("figure3", func(i int) ckpt.Key {
+		c := cells[i]
+		return bayesCellKey("figure3", c.net, c.trial,
+			runner.DeriveSeed(opts.Seed, seedStreamBayes, int64(c.trial)))
+	})
+	if err != nil {
+		return res, err
+	}
+	outs, err := runner.MapMemo(len(cells), opts.Workers,
 		func(i int) string {
 			return fmt.Sprintf("figure3 %s trial=%d", cells[i].net.Name, cells[i].trial)
 		},
+		memo,
 		func(i int) (bayesTrialOut, error) {
 			bn, trial := cells[i].net, cells[i].trial
 			// The trial seed is shared across networks (not a collision:
@@ -229,12 +249,12 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 			q := bayes.DefaultQuery(bn)
 			calib := bayes.DefaultCalibration()
 			out := bayesTrialOut{
-				par:       map[Variant]sim.Duration{},
-				rollbacks: map[Variant]int64{},
-				iters:     map[Variant]int64{},
+				Par:       map[Variant]sim.Duration{},
+				Rollbacks: map[Variant]int64{},
+				Iters:     map[Variant]int64{},
 			}
 			serial := bayes.InferSerial(bn, q, opts.Precision, seed, calib, bayesMaxIters(opts))
-			out.serial = serial.Time
+			out.Serial = serial.Time
 			for _, v := range bayesVariants() {
 				cfg := bayes.ParallelConfig{
 					Net: bn, Query: q, P: 2,
@@ -253,9 +273,9 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 				if err != nil {
 					return out, fmt.Errorf("%s: %w", v, err)
 				}
-				out.par[v] += pr.Completion
-				out.rollbacks[v] = pr.Rollbacks
-				out.iters[v] = pr.Iters
+				out.Par[v] += pr.Completion
+				out.Rollbacks[v] = pr.Rollbacks
+				out.Iters[v] = pr.Iters
 			}
 			return out, nil
 		})
@@ -279,13 +299,13 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 		for trial := 0; trial < opts.Trials; trial++ {
 			out := outs[idx]
 			idx++
-			serialSum += out.serial
-			totSerial += out.serial
+			serialSum += out.Serial
+			totSerial += out.Serial
 			for _, v := range bayesVariants() {
-				parSum[v] += out.par[v]
-				totPar[v] += out.par[v]
-				row.Rollbacks[v] += float64(out.rollbacks[v]) / float64(opts.Trials)
-				row.Iters[v] += float64(out.iters[v]) / float64(opts.Trials)
+				parSum[v] += out.Par[v]
+				totPar[v] += out.Par[v]
+				row.Rollbacks[v] += float64(out.Rollbacks[v]) / float64(opts.Trials)
+				row.Iters[v] += float64(out.Iters[v]) / float64(opts.Trials)
 			}
 		}
 		for _, v := range bayesVariants() {

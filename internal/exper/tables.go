@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"nscc/internal/bayes"
+	"nscc/internal/ckpt"
 	"nscc/internal/ga/functions"
 	"nscc/internal/partition"
 	"nscc/internal/runner"
@@ -64,16 +65,18 @@ func Table1(w io.Writer) []Table1Row {
 
 // Table2Row is one network's entry in Table 2: structural parameters,
 // 2-way edge-cut from the graph partitioner, and the modeled
-// uniprocessor inference time.
+// uniprocessor inference time. Net is excluded from the checkpoint
+// journal's JSON payload (Table2 reattaches the network after the
+// cells return, cached or not).
 type Table2Row struct {
-	Net       *bayes.Network
-	Nodes     int
-	EdgesPer  float64
-	Values    int
-	EdgeCut   int          // KL bisection cut (the paper's METIS column)
-	PipeCut   int          // cut of the topological split the parallel engine uses
-	Serial    sim.Duration // uniprocessor inference time to the precision target
-	SerialRef float64      // the paper's reported seconds, for side-by-side
+	Net       *bayes.Network `json:"-"`
+	Nodes     int            `json:"nodes"`
+	EdgesPer  float64        `json:"edges_per"`
+	Values    int            `json:"values"`
+	EdgeCut   int            `json:"edge_cut"`   // KL bisection cut (the paper's METIS column)
+	PipeCut   int            `json:"pipe_cut"`   // cut of the topological split the parallel engine uses
+	Serial    sim.Duration   `json:"serial"`     // uniprocessor inference time to the precision target
+	SerialRef float64        `json:"serial_ref"` // the paper's reported seconds, for side-by-side
 }
 
 // paperSerialSecs are Table 2's IBM SP2 uniprocessor inference times.
@@ -83,11 +86,21 @@ var paperSerialSecs = map[string]float64{"A": 11.12, "AA": 11.19, "C": 11.81, "H
 // partitioning and uniprocessor inference statistics. Each network is
 // one cell on the worker pool; the partitioner's random stream is
 // derived per network (instead of threaded serially through one rng)
-// so the cells are order-independent.
-func Table2(w io.Writer, opts Options) []Table2Row {
+// so the cells are order-independent. With a checkpoint store
+// configured the per-network cells are cached like every other sweep,
+// so the error return now also carries journal failures.
+func Table2(w io.Writer, opts Options) ([]Table2Row, error) {
 	nets := bayes.Table2Networks()
-	rows, err := runner.Map(len(nets), opts.Workers,
+	memo, err := opts.sweepMemo("table2", func(i int) ckpt.Key {
+		return bayesCellKey("table2", nets[i], 0,
+			runner.DeriveSeed(opts.Seed, seedStreamTable2, int64(i)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runner.MapMemo(len(nets), opts.Workers,
 		func(i int) string { return fmt.Sprintf("table2 %s", nets[i].Name) },
+		memo,
 		func(i int) (Table2Row, error) {
 			bn := nets[i]
 			rng := rand.New(rand.NewSource(runner.DeriveSeed(opts.Seed, seedStreamTable2, int64(i))))
@@ -97,7 +110,6 @@ func Table2(w io.Writer, opts Options) []Table2Row {
 			q := bayes.DefaultQuery(bn)
 			serial := bayes.InferSerial(bn, q, opts.Precision, opts.Seed, bayes.DefaultCalibration(), bayesMaxIters(opts))
 			return Table2Row{
-				Net:       bn,
 				Nodes:     bn.N(),
 				EdgesPer:  bn.EdgesPerNode(),
 				Values:    bn.MaxStates(),
@@ -108,9 +120,10 @@ func Table2(w io.Writer, opts Options) []Table2Row {
 			}, nil
 		})
 	if err != nil {
-		// The cells cannot fail (no error paths); a panic inside one
-		// surfaces here.
-		panic(err)
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Net = nets[i]
 	}
 	if w != nil {
 		fmt.Fprintln(w, "Table 2: four Bayesian belief networks")
@@ -121,7 +134,7 @@ func Table2(w io.Writer, opts Options) []Table2Row {
 				r.Net.Name, r.Nodes, r.EdgesPer, r.Values, r.EdgeCut, r.PipeCut, r.Serial.Seconds(), r.SerialRef)
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // Figure1Report prints the example medical-diagnosis network of Figure

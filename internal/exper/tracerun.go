@@ -92,5 +92,11 @@ func TraceRun(w io.Writer, opts Options, tr trace.Tracer) (*TraceTelemetry, erro
 		fn.No, p, traceAge, grRes.Completion.Seconds(), syncRes.Completion.Seconds(), grRes.Blocked)
 	fmt.Fprintf(w, "trace demo: bayes %s P=2 gr(%d): completion %.3fs, rollbacks %d\n",
 		bn.Name, traceAge, bres.Completion.Seconds(), bres.Rollbacks)
+	if opts.Ckpt != nil {
+		// Surface the process-wide checkpoint-cache accounting in the
+		// metrics artifact alongside the demo run's own telemetry.
+		c := opts.Ckpt.Counters()
+		grRes.Telemetry.Cache = &c
+	}
 	return &TraceTelemetry{GA: grRes.Telemetry, Bayes: bres.Telemetry}, nil
 }

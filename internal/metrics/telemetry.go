@@ -58,6 +58,27 @@ type RaceTelemetry struct {
 // Races reports the total racy reads (tolerated + unbounded).
 func (r *RaceTelemetry) Races() int64 { return r.ToleratedStale + r.Unbounded }
 
+// CacheTelemetry is the checkpoint cache's accounting over a sweep (or
+// a whole run, when aggregated across sweeps): cells replayed from the
+// journal (Hits), cells actually computed (Misses), records discarded
+// because the journal's configuration fingerprint no longer matched
+// (Invalidated), and torn tail records truncated away during crash
+// recovery (TornRecords — at most one per journal per crash).
+type CacheTelemetry struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Invalidated int64 `json:"invalidated,omitempty"`
+	TornRecords int64 `json:"torn_records,omitempty"`
+}
+
+// Add accumulates another journal's counters.
+func (c *CacheTelemetry) Add(o CacheTelemetry) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.Invalidated += o.Invalidated
+	c.TornRecords += o.TornRecords
+}
+
 // NetTelemetry is the interconnect's aggregate accounting.
 type NetTelemetry struct {
 	Frames         int64   `json:"frames"`
@@ -94,6 +115,10 @@ type Telemetry struct {
 	// Races is the simulated-time race classifier's summary; nil unless
 	// the run was executed with race checking on.
 	Races *RaceTelemetry `json:"races,omitempty"`
+
+	// Cache is the checkpoint cache's hit/miss accounting; nil unless
+	// the run was executed with a cache directory configured.
+	Cache *CacheTelemetry `json:"cache,omitempty"`
 }
 
 // TotalBlockedSecs sums the per-task Global_Read blocked time.

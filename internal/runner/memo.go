@@ -1,0 +1,53 @@
+package runner
+
+import "encoding/json"
+
+// Memo is the byte-level result cache MapMemo consults before
+// dispatching a job: Lookup returns job i's cached encoding if one is
+// valid, Store journals a freshly computed encoding. Implementations
+// (internal/ckpt satisfies this structurally) must be safe for
+// concurrent use by pool workers and own the mapping from job index to
+// cache identity.
+type Memo interface {
+	Lookup(i int) ([]byte, bool)
+	Store(i int, data []byte) error
+}
+
+// MapMemo is Map with memoization: each job's result is looked up in
+// memo first — a hit decodes the journaled JSON instead of running
+// fn — and each miss is journaled after fn returns. A nil memo is
+// exactly Map.
+//
+// Both paths deliver out[i] by decoding the journaled bytes (on a
+// miss, the bytes just written), so a replayed cell is bit-identical
+// to a freshly computed one by construction, and JSON's exact float64
+// round-trip keeps both identical to an uncached Map. Error and panic
+// semantics are Run's; a Store failure fails the job (a cache that
+// cannot journal must not pretend the sweep is resumable).
+func MapMemo[T any](n, workers int, label func(int) string, memo Memo, fn func(int) (T, error)) ([]T, error) {
+	if memo == nil {
+		return Map(n, workers, label, fn)
+	}
+	out := make([]T, n)
+	err := Run(n, workers, label, func(i int) error {
+		if data, ok := memo.Lookup(i); ok {
+			return json.Unmarshal(data, &out[i])
+		}
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if err := memo.Store(i, data); err != nil {
+			return err
+		}
+		return json.Unmarshal(data, &out[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mapMemo is an in-memory Memo for exercising MapMemo's two paths.
+type mapMemo struct {
+	mu       sync.Mutex
+	data     map[int][]byte
+	storeErr error
+}
+
+func (m *mapMemo) Lookup(i int) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.data[i]
+	return v, ok
+}
+
+func (m *mapMemo) Store(i int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.storeErr != nil {
+		return m.storeErr
+	}
+	if m.data == nil {
+		m.data = make(map[int][]byte)
+	}
+	m.data[i] = data
+	return nil
+}
+
+func memoLabel(i int) string { return "job" }
+
+func TestMapMemoNilIsMap(t *testing.T) {
+	calls := 0
+	out, err := MapMemo(3, 1, memoLabel, nil, func(i int) (int, error) {
+		calls++
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || out[0] != 0 || out[1] != 1 || out[2] != 4 {
+		t.Fatalf("calls=%d out=%v", calls, out)
+	}
+}
+
+func TestMapMemoHitSkipsFn(t *testing.T) {
+	m := &mapMemo{data: map[int][]byte{1: []byte("7")}}
+	var ran []int
+	out, err := MapMemo(3, 1, memoLabel, m, func(i int) (int, error) {
+		ran = append(ran, i)
+		return i + 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 replays the cached encoding; 0 and 2 run and are journaled.
+	if out[0] != 10 || out[1] != 7 || out[2] != 12 {
+		t.Fatalf("out=%v", out)
+	}
+	if len(ran) != 2 || ran[0] != 0 || ran[1] != 2 {
+		t.Fatalf("fn ran for %v, want [0 2]", ran)
+	}
+	if string(m.data[0]) != "10" || string(m.data[2]) != "12" {
+		t.Fatalf("journaled encodings %q %q", m.data[0], m.data[2])
+	}
+}
+
+func TestMapMemoStoreErrorFailsJob(t *testing.T) {
+	m := &mapMemo{storeErr: errors.New("journal full")}
+	_, err := MapMemo(1, 1, memoLabel, m, func(i int) (int, error) { return i, nil })
+	if err == nil || !strings.Contains(err.Error(), "journal full") {
+		t.Fatalf("store error not propagated: %v", err)
+	}
+}
+
+func TestMapMemoCachedEqualsFresh(t *testing.T) {
+	// The float round-trip contract behind byte-identical resumes: a
+	// value decoded from the journal equals the freshly computed one.
+	fn := func(i int) (float64, error) { return 1.0 / float64(i+3), nil }
+	m := &mapMemo{}
+	fresh, err := MapMemo(4, 1, memoLabel, m, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := MapMemo(4, 1, memoLabel, m, func(i int) (float64, error) {
+		return 0, errors.New("fn ran on a warm cache")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Map(4, 1, memoLabel, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if fresh[i] != cached[i] || fresh[i] != plain[i] {
+			t.Fatalf("job %d: fresh %v cached %v plain %v", i, fresh[i], cached[i], plain[i])
+		}
+	}
+}

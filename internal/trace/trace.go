@@ -40,6 +40,9 @@ const (
 	// cross-process read that raced a concurrent write, named by its
 	// class (tolerated_stale or unbounded_race).
 	PidRace = 7
+	// PidCkpt is the checkpoint cache: one instant per sweep cell
+	// consulted against the journal (cache_hit or cache_miss).
+	PidCkpt = 8
 )
 
 // PidName returns the layer name a pid renders under.
@@ -59,6 +62,8 @@ func PidName(pid int) string {
 		return "faults"
 	case PidRace:
 		return "simrace"
+	case PidCkpt:
+		return "ckpt"
 	default:
 		return fmt.Sprintf("pid%d", pid)
 	}

@@ -1,31 +1,38 @@
 // Package traceio writes the observability artifacts the commands
 // share: Chrome trace_event JSON files (loadable in Perfetto or
-// chrome://tracing) and indented JSON metrics summaries.
+// chrome://tracing) and indented JSON metrics summaries. All writes go
+// through the ckpt atomic writer: the artifact appears at its path
+// complete or not at all, and flush/close errors propagate instead of
+// being swallowed by a deferred Close (the old in-place os.Create path
+// could publish a silently truncated JSON file).
 package traceio
 
 import (
 	"encoding/json"
-	"os"
 
+	"nscc/internal/ckpt"
 	"nscc/internal/trace"
 )
 
 // WriteTrace writes rec's events as a Chrome trace_event JSON array to
-// path. No-op when path is empty or rec is nil.
+// path, atomically. No-op when path is empty or rec is nil.
 func WriteTrace(path string, rec *trace.Recorder) error {
 	if path == "" || rec == nil {
 		return nil
 	}
-	f, err := os.Create(path)
+	f, err := ckpt.CreateAtomic(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return rec.WriteChromeTrace(f)
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
 }
 
-// WriteMetrics writes v as indented JSON to path. No-op when path is
-// empty.
+// WriteMetrics writes v as indented JSON to path, atomically. No-op
+// when path is empty.
 func WriteMetrics(path string, v interface{}) error {
 	if path == "" {
 		return nil
@@ -35,5 +42,5 @@ func WriteMetrics(path string, v interface{}) error {
 		return err
 	}
 	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	return ckpt.WriteFileAtomic(path, data)
 }
