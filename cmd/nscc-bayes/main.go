@@ -13,9 +13,11 @@ import (
 	"nscc/internal/core"
 	"nscc/internal/faults"
 	"nscc/internal/netsim"
+	"nscc/internal/obs"
 	"nscc/internal/sim"
 	"nscc/internal/trace"
 	"nscc/internal/traceio"
+	"nscc/internal/tseries"
 )
 
 func main() {
@@ -38,8 +40,21 @@ func main() {
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
+		httpAddr = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
 	)
 	flag.Parse()
+
+	var srv *obs.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = obs.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live status on http://%s/ (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
 
 	var bn *bayes.Network
 	if *netName == "figure1" {
@@ -113,10 +128,18 @@ func main() {
 		rec = trace.NewRecorder()
 		cfg.Tracer = rec
 	}
+	if *metOut != "" || srv != nil {
+		// Windowed series only matter when the telemetry leaves the
+		// process (JSON artifact or the live endpoint).
+		cfg.Series = tseries.NewSet(tseries.DefaultWindow)
+	}
 	res, err := bayes.RunParallel(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if srv != nil {
+		srv.PublishTelemetry("bayes", res.Telemetry)
 	}
 	fmt.Printf("%s: completion=%v speedup=%.2f prob=%.4f (+-%.4f) iters=%d accepted=%d converged=%v\n",
 		*mode, res.Completion, serial.Time.Seconds()/res.Completion.Seconds(),

@@ -5,7 +5,7 @@
 //	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4] [-profile quick|full]
 //	           [-trials N] [-gens N] [-procs 2,4,8,16] [-funcs 1,2,...] [-seed N]
 //	           [-workers N] [-bench-out BENCH_name.json]
-//	           [-cache-dir DIR] [-resume]
+//	           [-cache-dir DIR] [-resume] [-http :8080]
 //	           [-faults plan.json] [-reliable] [-read-timeout 50ms] [-loss P]
 //
 // The quick profile runs the full experimental structure at reduced
@@ -42,6 +42,8 @@ import (
 	"nscc/internal/exper"
 	"nscc/internal/faults"
 	"nscc/internal/ga/functions"
+	"nscc/internal/metrics"
+	"nscc/internal/obs"
 	"nscc/internal/runner"
 	"nscc/internal/sim"
 	"nscc/internal/trace"
@@ -70,8 +72,21 @@ func main() {
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 		lossProb = flag.Float64("loss", 0, "override the Ethernet model's per-frame loss probability")
 		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker (adds race columns to the age sweep)")
+		httpAddr = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
 	)
 	flag.Parse()
+
+	var srv *obs.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = obs.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "-- live status on http://%s/ (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
 
 	opts := exper.Quick()
 	if *profile == "full" {
@@ -116,6 +131,9 @@ func main() {
 		store = ckpt.NewStore(*cacheDir, *resume)
 		opts.Ckpt = store
 	}
+	if srv != nil {
+		opts.Progress = srv
+	}
 	if *procs != "" {
 		opts.Procs = nil
 		for _, s := range strings.Split(*procs, ",") {
@@ -154,6 +172,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if srv != nil {
+			srv.PublishTelemetry("ga", tel.GA)
+			srv.PublishTelemetry("bayes", tel.Bayes)
+		}
 		if err := traceio.WriteTrace(*trOut, rec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -167,6 +189,22 @@ func main() {
 		}
 		if *metOut != "" {
 			fmt.Printf("wrote %s\n", *metOut)
+		}
+		// The demo's windowed series as plottable CSV, one file per run.
+		for _, out := range []struct {
+			name   string
+			series []metrics.SeriesSummary
+		}{{"ga", tel.GA.Series}, {"bayes", tel.Bayes.Series}} {
+			if len(out.series) == 0 {
+				continue
+			}
+			series := out.series
+			if err := writeCSV(*csvDir, out.name+"_series.csv", func(w io.Writer) error {
+				return exper.WriteSeriesCSV(w, series)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -247,7 +285,10 @@ func main() {
 			})
 		})
 	}
-	if *exp == "agesweep" { // not part of "all": it is the extension study
+	// The age sweep is not part of "all" (it is the extension study),
+	// but a -bench-out snapshot of "all" includes it so the performance
+	// baseline covers every pooled sweep the tool can run.
+	if *exp == "agesweep" || (*exp == "all" && *benchOut != "") {
 		matched = true
 		loads := []float64{0, 1e6, 2e6}
 		run("Age sweep", exper.AgeSweepCells(opts, len(loads)), func() error {
@@ -273,6 +314,9 @@ func main() {
 		// stdout stays byte-identical between cached, resumed, and
 		// uncached runs.
 		c := store.Counters()
+		if srv != nil {
+			srv.PublishCache(c)
+		}
 		fmt.Fprintf(os.Stderr, "-- cache: %d hits, %d misses, %d invalidated, %d torn (dir=%s)\n",
 			c.Hits, c.Misses, c.Invalidated, c.TornRecords, store.Dir())
 		if err := store.Close(); err != nil {

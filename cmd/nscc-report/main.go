@@ -1,0 +1,202 @@
+// Command nscc-report diffs two performance or telemetry snapshots and
+// renders the deltas, exiting non-zero when a gated metric regressed —
+// the CI perf gate.
+//
+// Usage:
+//
+//	nscc-report [-threshold 0.10] [-allocs-only] [-force] BASELINE.json CURRENT.json
+//
+// Both files may be BENCH_*.json snapshots (nscc-bench -bench-out) or
+// telemetry JSON (-metrics-out from any tool: a single run, the
+// nscc-bench trace demo's {ga, bayes} pair, or nscc-warp's per-run
+// map).
+//
+// For BENCH snapshots the tool compares the shared microbenchmarks and
+// sweeps, and fails (exit 1) when ns/op or allocs/op got more than
+// -threshold worse. Time metrics are only comparable on the same
+// machine class: when the GOOS/GOARCH/CPU stamps differ the tool
+// refuses (exit 2) unless -allocs-only restricts the gate to the
+// machine-independent allocs/op column or -force overrides.
+//
+// For telemetry files the tool prints side-by-side run deltas and
+// before/after sparklines of the windowed simulated-time series;
+// telemetry diffs are informational and never gate.
+//
+// Exit codes: 0 pass, 1 regression, 2 usage error or refused
+// comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nscc/internal/benchio"
+	"nscc/internal/metrics"
+	"nscc/internal/report"
+)
+
+func main() {
+	var (
+		threshold  = flag.Float64("threshold", 0.10, "fractional regression limit on gated metrics")
+		allocsOnly = flag.Bool("allocs-only", false, "gate on allocs/op alone (machine-independent; permits cross-machine baselines)")
+		force      = flag.Bool("force", false, "compare time metrics even across machine classes")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: nscc-report [-threshold F] [-allocs-only] [-force] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	basePath, curPath := flag.Arg(0), flag.Arg(1)
+
+	baseSnap, errB := benchio.ReadFile(basePath)
+	curSnap, errC := benchio.ReadFile(curPath)
+	switch {
+	case errB == nil && errC == nil:
+		os.Exit(benchReport(baseSnap, curSnap, *threshold, *allocsOnly, *force))
+	case errB == nil || errC == nil:
+		fmt.Fprintf(os.Stderr, "nscc-report: %s and %s are different artifact kinds\n", basePath, curPath)
+		os.Exit(2)
+	}
+
+	baseTel, err := readTelemetry(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nscc-report: %v\n", err)
+		os.Exit(2)
+	}
+	curTel, err := readTelemetry(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nscc-report: %v\n", err)
+		os.Exit(2)
+	}
+	telemetryReport(baseTel, curTel)
+}
+
+// benchReport prints the BENCH snapshot diff and returns the exit code.
+func benchReport(base, cur *benchio.Snapshot, threshold float64, allocsOnly, force bool) int {
+	if msg := benchio.EnvMismatch(base, cur); msg != "" && !allocsOnly && !force {
+		fmt.Fprintf(os.Stderr, "nscc-report: refusing time-metric comparison: %s\n", msg)
+		fmt.Fprintf(os.Stderr, "use -allocs-only to gate on the machine-independent column, or -force to override\n")
+		return 2
+	}
+	c := benchio.Compare(base, cur, benchio.CompareOptions{Threshold: threshold, AllocsOnly: allocsOnly})
+
+	fmt.Printf("perf comparison: %s (%s/%s, %d CPUs) -> %s (%s/%s, %d CPUs)\n\n",
+		base.Name, base.GOOS, base.GOARCH, base.CPUs,
+		cur.Name, cur.GOOS, cur.GOARCH, cur.CPUs)
+	fmt.Printf("%-28s %-14s %12s %12s %8s %s\n", "benchmark", "metric", "before", "after", "change", "gate")
+	for _, d := range c.Deltas {
+		gate := ""
+		if d.Gated {
+			gate = "gated"
+		}
+		flag := ""
+		if d.Gated && d.Before > 0 && d.Change() > threshold {
+			flag = "  <-- REGRESSION"
+		}
+		fmt.Printf("%-28s %-14s %12.4g %12.4g %+7.1f%% %-5s%s\n",
+			d.Name, d.Metric, d.Before, d.After, d.Change()*100, gate, flag)
+	}
+	for _, n := range c.OnlyBase {
+		fmt.Printf("%-28s only in baseline (dropped or renamed)\n", n)
+	}
+	for _, n := range c.OnlyCur {
+		fmt.Printf("%-28s only in current (new benchmark, no baseline)\n", n)
+	}
+
+	if len(c.Regressions) > 0 {
+		fmt.Printf("\n%d metric(s) regressed beyond %.0f%%:\n", len(c.Regressions), threshold*100)
+		var bars []report.Bar
+		for _, d := range c.Regressions {
+			fmt.Printf("  %s %s: %.4g -> %.4g (%+.1f%%)\n", d.Name, d.Metric, d.Before, d.After, d.Change()*100)
+			bars = append(bars, report.Bar{Label: d.Name + " " + d.Metric, Value: d.Change() * 100})
+		}
+		fmt.Print(report.BarChart(bars, 40))
+		return 1
+	}
+	fmt.Printf("\nno gated metric regressed beyond %.0f%%\n", threshold*100)
+	return 0
+}
+
+// readTelemetry loads a -metrics-out artifact in any of its shapes,
+// normalized to run-name -> telemetry.
+func readTelemetry(path string) (map[string]*metrics.Telemetry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Multi-run map: nscc-warp's output and the trace demo's {ga, bayes}.
+	var m map[string]*metrics.Telemetry
+	if err := json.Unmarshal(data, &m); err == nil {
+		ok := len(m) > 0
+		for _, v := range m {
+			if v == nil || (v.Variant == "" && v.CompletionSecs == 0 && len(v.Tasks) == 0) {
+				ok = false
+			}
+		}
+		if ok {
+			return m, nil
+		}
+	}
+	// Single run: nscc-ga / nscc-bayes -metrics-out.
+	var t metrics.Telemetry
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if t.Variant == "" && len(t.Tasks) == 0 {
+		return nil, fmt.Errorf("%s: not a telemetry artifact", path)
+	}
+	return map[string]*metrics.Telemetry{"run": &t}, nil
+}
+
+// telemetryReport prints side-by-side run deltas with before/after
+// series sparklines (informational; telemetry never gates).
+func telemetryReport(base, cur map[string]*metrics.Telemetry) {
+	var names []string
+	//nscc:maporder -- sort below launders the iteration order
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("no runs in common between the two telemetry files")
+		return
+	}
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		fmt.Printf("run %s: %s age=%d -> %s age=%d\n", name, b.Variant, b.Age, c.Variant, c.Age)
+		row := func(label string, vb, vc float64) {
+			change := ""
+			if vb != 0 {
+				change = fmt.Sprintf("%+.1f%%", (vc/vb-1)*100)
+			}
+			fmt.Printf("  %-24s %12.4g %12.4g %8s\n", label, vb, vc, change)
+		}
+		row("completion_secs", b.CompletionSecs, c.CompletionSecs)
+		row("warp_mean", b.WarpMean, c.WarpMean)
+		row("warp_max", b.WarpMax, c.WarpMax)
+		row("net_frames", float64(b.Net.Frames), float64(c.Net.Frames))
+		row("net_bytes", float64(b.Net.Bytes), float64(c.Net.Bytes))
+		row("net_utilization", b.Net.Utilization, c.Net.Utilization)
+		row("blocked_secs", b.TotalBlockedSecs(), c.TotalBlockedSecs())
+		row("staleness_violations", float64(b.StalenessViolations), float64(c.StalenessViolations))
+
+		bser := map[string]metrics.SeriesSummary{}
+		for _, s := range b.Series {
+			bser[s.Name] = s
+		}
+		for _, s := range c.Series {
+			sb, ok := bser[s.Name]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-24s before %s\n", s.Name, report.AutoSparkline(sb.Values))
+			fmt.Printf("  %-24s after  %s\n", "", report.AutoSparkline(s.Values))
+		}
+		fmt.Println()
+	}
+}

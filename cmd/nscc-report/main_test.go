@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nscc/internal/benchio"
+	"nscc/internal/metrics"
+	"nscc/internal/traceio"
+)
+
+func load(t *testing.T, name string) *benchio.Snapshot {
+	t.Helper()
+	s, err := benchio.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBenchReportPassesOnIdentical(t *testing.T) {
+	base := load(t, "bench_base.json")
+	if code := benchReport(base, base, 0.10, false, false); code != 0 {
+		t.Errorf("identical snapshots: exit %d, want 0", code)
+	}
+}
+
+func TestBenchReportFailsOnRegression(t *testing.T) {
+	base := load(t, "bench_base.json")
+	reg := load(t, "bench_regressed.json")
+	// bench_regressed has engine/schedule +27% ns/op and +50% allocs/op.
+	if code := benchReport(base, reg, 0.10, false, false); code != 1 {
+		t.Errorf("regressed snapshot: exit %d, want 1", code)
+	}
+	// The reverse direction is an improvement, not a regression.
+	if code := benchReport(reg, base, 0.10, false, false); code != 0 {
+		t.Errorf("improvement flagged: exit %d, want 0", code)
+	}
+}
+
+func TestBenchReportRefusesCrossMachine(t *testing.T) {
+	base := load(t, "bench_base.json")
+	other := load(t, "bench_base.json")
+	other.GOARCH = "arm64"
+	if code := benchReport(base, other, 0.10, false, false); code != 2 {
+		t.Errorf("cross-arch comparison: exit %d, want 2 (refusal)", code)
+	}
+	// -allocs-only restricts the gate to the machine-independent column.
+	if code := benchReport(base, other, 0.10, true, false); code != 0 {
+		t.Errorf("cross-arch allocs-only: exit %d, want 0", code)
+	}
+	// -force compares anyway.
+	if code := benchReport(base, other, 0.10, false, true); code != 0 {
+		t.Errorf("cross-arch forced: exit %d, want 0", code)
+	}
+	// allocs regressions still gate across machines.
+	other.Micro[0].AllocsOp = 10
+	if code := benchReport(base, other, 0.10, true, false); code != 1 {
+		t.Errorf("cross-arch allocs regression: exit %d, want 1", code)
+	}
+}
+
+func TestReadTelemetryShapes(t *testing.T) {
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "single.json")
+	if err := traceio.WriteMetrics(single, &metrics.Telemetry{Variant: "gr(10)", CompletionSecs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readTelemetry(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m["run"] == nil || m["run"].Variant != "gr(10)" {
+		t.Errorf("single-run shape = %+v", m)
+	}
+
+	multi := filepath.Join(dir, "multi.json")
+	if err := traceio.WriteMetrics(multi, map[string]*metrics.Telemetry{
+		"sync":  {Variant: "sync", CompletionSecs: 2},
+		"async": {Variant: "async", CompletionSecs: 1.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = readTelemetry(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["sync"] == nil || m["async"] == nil {
+		t.Errorf("multi-run shape = %+v", m)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"something":"else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readTelemetry(bad); err == nil {
+		t.Error("arbitrary JSON accepted as telemetry")
+	}
+}

@@ -5,6 +5,12 @@
 // asynchrony directly visible.
 //
 //	nscc-warp -procs 16 -gens 150 [-load 2e6]
+//	          [-trace-out warp.trace.json] [-metrics-out warp.metrics.json] [-http :8080]
+//
+// -trace-out records the gr(age=10) run (the representative bounded-
+// staleness configuration) as Chrome trace_event JSON; -metrics-out
+// writes every run's telemetry — including the windowed simulated-time
+// series — as one JSON object keyed by run name.
 package main
 
 import (
@@ -16,8 +22,13 @@ import (
 	"nscc/internal/faults"
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
+	"nscc/internal/metrics"
+	"nscc/internal/obs"
 	"nscc/internal/report"
 	"nscc/internal/sim"
+	"nscc/internal/trace"
+	"nscc/internal/traceio"
+	"nscc/internal/tseries"
 )
 
 func main() {
@@ -31,8 +42,23 @@ func main() {
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
+		trOut    = flag.String("trace-out", "", "write the gr(age=10) run's Chrome trace_event JSON to this file")
+		metOut   = flag.String("metrics-out", "", "write every run's telemetry JSON (keyed by run name) to this file")
+		httpAddr = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
 	)
 	flag.Parse()
+
+	var srv *obs.Server
+	if *httpAddr != "" {
+		var err error
+		srv, err = obs.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "live status on http://%s/ (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
 
 	fn := functions.ByNo(*fnNo)
 	par := ga.DeJongParams()
@@ -54,14 +80,34 @@ func main() {
 		base.Faults = plan
 	}
 
+	// Series recording (and the telemetry artifact) only when the data
+	// leaves the process.
+	record := *metOut != "" || srv != nil
+	telem := map[string]*metrics.Telemetry{}
+	publish := func(name string, r ga.IslandResult) {
+		if !record {
+			return
+		}
+		telem[name] = r.Telemetry
+		if srv != nil {
+			srv.PublishTelemetry(name, r.Telemetry)
+		}
+	}
+
 	syncCfg := base
 	syncCfg.Mode = core.Sync
+	if record {
+		syncCfg.Series = tseries.NewSet(tseries.DefaultWindow)
+	}
 	syncRes, err := ga.RunIsland(syncCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	target := syncRes.Avg
+	publish("sync", syncRes)
+
+	var rec *trace.Recorder
 
 	fmt.Printf("warp over time (100 ms windows; scale 1..3, ▁ = stable, █ = load growing fast)\n\n")
 	show("sync", syncRes)
@@ -79,17 +125,40 @@ func main() {
 		cfg.Mode = v.mode
 		cfg.Age = v.age
 		cfg.Target = target
+		if record {
+			cfg.Series = tseries.NewSet(tseries.DefaultWindow)
+		}
+		if *trOut != "" && v.name == "gr(age=10)" {
+			rec = trace.NewRecorder()
+			cfg.Tracer = rec
+		}
 		res, err := ga.RunIsland(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		publish(v.name, res)
 		show(v.name, res)
 		bars = append(bars, report.Bar{Label: v.name, Value: res.Completion.Seconds()})
 	}
 
 	fmt.Println("\ncompletion time in seconds (shorter is better):")
 	fmt.Print(report.BarChart(bars, 48))
+
+	if err := traceio.WriteTrace(*trOut, rec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		fmt.Printf("wrote %s (%d events)\n", *trOut, rec.Len())
+	}
+	if *metOut != "" {
+		if err := traceio.WriteMetrics(*metOut, telem); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metOut)
+	}
 }
 
 func show(name string, r ga.IslandResult) {

@@ -14,6 +14,7 @@ import (
 	"nscc/internal/sim"
 	"nscc/internal/simrace"
 	"nscc/internal/trace"
+	"nscc/internal/tseries"
 )
 
 // Message tags and sizes of the parallel sampler's own protocol.
@@ -108,6 +109,13 @@ type ParallelConfig struct {
 	// fills Telemetry.Races. Strictly passive: virtual time and the
 	// estimate are identical with it on or off.
 	RaceCheck bool
+
+	// Series, if set, records the run's windowed simulated-time series
+	// (core staleness/timeouts, pvm queue depth/retransmits, net busy
+	// time/drops, counters "bayes.iters" and "bayes.rollbacks", gauge
+	// "pvm.warp" copied from the warp series) into the given set and
+	// exports them in Telemetry.Series. Strictly observational.
+	Series *tseries.Set
 }
 
 // ParallelResult reports one parallel run.
@@ -300,6 +308,10 @@ type worker struct {
 	replayed  int64
 	jit       *Jitterer
 
+	// Windowed series handles (nil when the run records none).
+	serIters     *tseries.Series
+	serRollbacks *tseries.Series
+
 	// Coordinator-only state.
 	coord   bool
 	evBits  [][]int8 // [part][iter]: -1 unknown, 0 no, 1 yes
@@ -321,13 +333,17 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	eng.SetTracer(cfg.Tracer)
 	var net netsim.Fabric
 	if cfg.SwitchCfg != nil {
-		net = netsim.NewSwitch(eng, *cfg.SwitchCfg)
+		sw := netsim.NewSwitch(eng, *cfg.SwitchCfg)
+		sw.SetSeries(cfg.Series)
+		net = sw
 	} else {
 		netCfg := netsim.DefaultConfig()
 		if cfg.NetCfg != nil {
 			netCfg = *cfg.NetCfg
 		}
-		net = netsim.New(eng, netCfg)
+		bus := netsim.New(eng, netCfg)
+		bus.SetSeries(cfg.Series)
+		net = bus
 	}
 	if cfg.Faults != nil {
 		net = faults.Wrap(net, cfg.Faults)
@@ -340,6 +356,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 		pvmCfg.Reliable = true
 	}
 	machine := pvm.NewMachine(eng, net, pvmCfg)
+	machine.SetSeries(cfg.Series)
 	warp := metrics.NewWarpMeter()
 	warpSeries := metrics.NewWarpSeries(100 * sim.Millisecond)
 	machine.ArrivalHook = func(dst int, m *pvm.Message) {
@@ -397,6 +414,9 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 			pos:      map[int]int{},
 			scratch:  make([]int, bn.N()),
 			coord:    p == topo.coordinator,
+
+			serIters:     cfg.Series.Counter("bayes.iters"),
+			serRollbacks: cfg.Series.Counter("bayes.rollbacks"),
 		}
 		for u := 0; u < bn.N(); u++ {
 			if topo.parts[u] == p {
@@ -428,7 +448,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 		machine.Spawn("part", func(task *pvm.Task) {
 			w.task = task
 			w.jit = cfg.Calib.NewJitterer(task.Proc().Rng())
-			w.node = core.NewNode(task, core.Options{Observer: w.observe, ReadTimeout: cfg.ReadTimeout, Races: raceObserver(rc)})
+			w.node = core.NewNode(task, core.Options{Observer: w.observe, ReadTimeout: cfg.ReadTimeout, Races: raceObserver(rc), Series: cfg.Series})
 			for _, ls := range topo.bundleLocs {
 				for _, l := range ls {
 					w.node.Register(l)
@@ -507,6 +527,16 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	}
 	if rc != nil {
 		res.Telemetry.Races = rc.Telemetry()
+	}
+	if cfg.Series != nil {
+		// Copy the warp series into the set as gauge "pvm.warp" (one
+		// sample per 100 ms window, at the window's start) so the export
+		// carries warp alongside the other windowed series.
+		serWarp := cfg.Series.Gauge("pvm.warp")
+		for w, v := range res.WarpWindows {
+			serWarp.Add(sim.Time(int64(w)*int64(100*sim.Millisecond)), v)
+		}
+		res.Telemetry.Series = cfg.Series.Summaries()
 	}
 	return res, nil
 }
@@ -599,6 +629,7 @@ func (w *worker) run(onExit func(sim.Time)) {
 			iterStart := w.task.Now()
 			sample := w.sampleIter(t)
 			w.log = append(w.log, sample)
+			w.serIters.Add(w.task.Now(), 1)
 			w.task.Compute(sim.DurationOf(
 				cfg.Calib.IterCost(len(w.owned)).Seconds() * w.jit.Next()))
 			if tr := w.task.Tracer(); tr != nil {
@@ -699,6 +730,7 @@ func (w *worker) syncIteration(t int64) {
 		}
 	}
 	w.log = append(w.log, out)
+	w.serIters.Add(w.task.Now(), 1)
 }
 
 // evidenceOKFor reports whether the partition's evidence nodes match in
@@ -843,6 +875,7 @@ func (w *worker) handleRollbacks() {
 			}
 			if span := int64(len(w.log)) - d; span > 0 {
 				w.replayed += span
+				w.serRollbacks.Add(w.task.Now(), 1)
 				if tr := w.task.Tracer(); tr != nil {
 					tr.Emit(trace.Event{TS: int64(w.task.Now()), Ph: trace.PhaseInstant,
 						Pid: trace.PidApp, Tid: w.p, Cat: "bayes", Name: "rollback",

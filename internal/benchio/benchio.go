@@ -31,10 +31,17 @@ type SweepStat struct {
 	CellsPerSec float64 `json:"cells_per_sec"`
 }
 
-// Snapshot is the full BENCH_*.json payload.
+// Snapshot is the full BENCH_*.json payload. GOOS/GOARCH/CPUs identify
+// the machine class that produced the numbers: wall-clock and ns/op
+// figures are only comparable within one class, and nscc-report
+// refuses cross-machine comparisons unless forced (allocs/op is the
+// machine-independent column).
 type Snapshot struct {
 	Name       string      `json:"name"`
 	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPUs       int         `json:"cpus,omitempty"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	Workers    int         `json:"workers"`
 	Sweeps     []SweepStat `json:"sweeps,omitempty"`
@@ -46,6 +53,9 @@ func NewSnapshot(name string, workers int) *Snapshot {
 	return &Snapshot{
 		Name:       name,
 		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
 	}

@@ -1,0 +1,124 @@
+package benchio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snapPair() (*Snapshot, *Snapshot) {
+	base := &Snapshot{
+		Name: "all", GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", CPUs: 8,
+		Micro: []Micro{
+			{Name: "engine/schedule", NsPerOp: 100, AllocsOp: 2, BytesOp: 64},
+			{Name: "pvm/roundtrip", NsPerOp: 2000, AllocsOp: 10, BytesOp: 512},
+		},
+		Sweeps: []SweepStat{{Name: "Figure 2", Cells: 64, WallSecs: 2, CellsPerSec: 32}},
+	}
+	cur := &Snapshot{
+		Name: "all", GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", CPUs: 8,
+		Micro: []Micro{
+			{Name: "engine/schedule", NsPerOp: 105, AllocsOp: 2, BytesOp: 64},
+			{Name: "pvm/roundtrip", NsPerOp: 2100, AllocsOp: 10, BytesOp: 512},
+		},
+		Sweeps: []SweepStat{{Name: "Figure 2", Cells: 64, WallSecs: 2.1, CellsPerSec: 30.5}},
+	}
+	return base, cur
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base, cur := snapPair()
+	c := Compare(base, cur, CompareOptions{Threshold: 0.10})
+	if len(c.Regressions) != 0 {
+		t.Errorf("5%% drift flagged as regression: %+v", c.Regressions)
+	}
+	if len(c.Deltas) != 7 { // 2 micros x 3 metrics + 1 sweep
+		t.Errorf("deltas = %d, want 7", len(c.Deltas))
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base, cur := snapPair()
+	cur.Micro[1].NsPerOp = 2500 // +25%
+	cur.Micro[0].AllocsOp = 3   // +50%
+	c := Compare(base, cur, CompareOptions{Threshold: 0.10})
+	if len(c.Regressions) != 2 {
+		t.Fatalf("regressions = %+v, want ns_per_op and allocs_per_op hits", c.Regressions)
+	}
+	for _, r := range c.Regressions {
+		if !r.Gated {
+			t.Errorf("ungated delta in regressions: %+v", r)
+		}
+	}
+}
+
+func TestCompareAllocsOnlyIgnoresTime(t *testing.T) {
+	base, cur := snapPair()
+	cur.Micro[1].NsPerOp = 9999 // wildly slower — but a different machine may be
+	c := Compare(base, cur, CompareOptions{Threshold: 0.10, AllocsOnly: true})
+	if len(c.Regressions) != 0 {
+		t.Errorf("allocs-only gate flagged time regression: %+v", c.Regressions)
+	}
+	cur.Micro[0].AllocsOp = 5
+	c = Compare(base, cur, CompareOptions{Threshold: 0.10, AllocsOnly: true})
+	if len(c.Regressions) != 1 || c.Regressions[0].Metric != "allocs_per_op" {
+		t.Errorf("allocs regression not flagged: %+v", c.Regressions)
+	}
+}
+
+func TestCompareReportsUnmatched(t *testing.T) {
+	base, cur := snapPair()
+	cur.Micro[0].Name = "engine/schedule_v2"
+	c := Compare(base, cur, CompareOptions{Threshold: 0.10})
+	if len(c.OnlyBase) != 1 || c.OnlyBase[0] != "engine/schedule" {
+		t.Errorf("OnlyBase = %v", c.OnlyBase)
+	}
+	if len(c.OnlyCur) != 1 || c.OnlyCur[0] != "engine/schedule_v2" {
+		t.Errorf("OnlyCur = %v", c.OnlyCur)
+	}
+}
+
+func TestEnvMismatch(t *testing.T) {
+	base, cur := snapPair()
+	if msg := EnvMismatch(base, cur); msg != "" {
+		t.Errorf("matched envs reported mismatch: %s", msg)
+	}
+	cur.GOARCH = "arm64"
+	if msg := EnvMismatch(base, cur); msg == "" {
+		t.Error("cross-arch comparison not refused")
+	}
+	cur.GOARCH = base.GOARCH
+	cur.CPUs = 4
+	if msg := EnvMismatch(base, cur); msg == "" {
+		t.Error("cross-CPU-count comparison not refused")
+	}
+	// Legacy snapshot with no stamp is an unknown machine.
+	base.GOOS, base.GOARCH, base.CPUs = "", "", 0
+	cur.CPUs = 8
+	if msg := EnvMismatch(base, cur); msg == "" {
+		t.Error("unstamped baseline not refused")
+	}
+}
+
+func TestReadFileRejectsNonSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_x.json")
+	if err := WriteFile(good, NewSnapshot("x", 4)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GOOS == "" || s.CPUs == 0 {
+		t.Errorf("snapshot missing environment stamp: %+v", s)
+	}
+
+	bad := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(bad, []byte(`{"variant":"gr(10)","completion_secs":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("telemetry JSON accepted as BENCH snapshot")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"nscc/internal/pvm"
 	"nscc/internal/sim"
 	"nscc/internal/trace"
+	"nscc/internal/tseries"
 )
 
 // Mode names the coherence discipline an application variant runs under.
@@ -169,6 +170,13 @@ type Options struct {
 	// classification (the -simrace flag wires the simrace checker in
 	// here). Nil costs one predicted branch per operation.
 	Races RaceObserver
+	// Series, if set, records the node's windowed simulated-time series
+	// into the given set: quantile "core.staleness" (per-window observed
+	// Global_Read staleness), counter "core.read_timeouts" (degraded
+	// reads per window), and counter "core.blocked_us" (microseconds of
+	// Global_Read blocking charged to the window the block ended in).
+	// Strictly observational; nil costs one predicted branch per site.
+	Series *tseries.Set
 	// ReadTimeout bounds how long a Global_Read may block. When the
 	// deadline passes without a sufficiently fresh value, the read
 	// degrades gracefully: it returns the freshest cached value (Iter
@@ -217,6 +225,11 @@ type Node struct {
 	outbox   []outboxEntry
 	stats    Stats
 	stale    metrics.Histogram // observed Global_Read staleness, log-bucketed
+
+	// Windowed series resolved once from Options.Series (nil when off).
+	serStale    *tseries.Series
+	serTimeouts *tseries.Series
+	serBlocked  *tseries.Series
 }
 
 // NewNode attaches a DSM node to a PVM task. Every location the task
@@ -227,7 +240,20 @@ func NewNode(task *pvm.Task, opts Options) *Node {
 		locs: make(map[int]*Location),
 		buf:  make(map[int]Update),
 		opts: opts,
+
+		serStale:    opts.Series.Quantile("core.staleness"),
+		serTimeouts: opts.Series.Counter("core.read_timeouts"),
+		serBlocked:  opts.Series.Counter("core.blocked_us"),
 	}
+}
+
+// now returns the task's virtual time, 0 for a detached node (as in
+// buffer-level unit tests).
+func (n *Node) now() sim.Time {
+	if n.task == nil {
+		return 0
+	}
+	return n.task.Now()
 }
 
 // Task returns the underlying PVM task.
@@ -451,6 +477,7 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 		if u, ok := n.buf[loc.ID]; ok && u.Iter >= minIter {
 			end := n.task.Now()
 			n.stats.BlockedTime += end.Sub(start)
+			n.serBlocked.Add(end, float64(end.Sub(start))/1e3)
 			n.traceRead(start, end.Sub(start), loc, n.recordStaleness(curIter, u.Iter))
 			n.observeGlobalRead(loc, u.Iter, curIter, age, false, true)
 			return u
@@ -478,7 +505,9 @@ func (n *Node) observeGlobalRead(loc *Location, gotIter, curIter, age int64, tim
 func (n *Node) degradeRead(loc *Location, start sim.Time, curIter, age int64) Update {
 	end := n.task.Now()
 	n.stats.BlockedTime += end.Sub(start)
+	n.serBlocked.Add(end, float64(end.Sub(start))/1e3)
 	n.stats.ReadTimeouts++
+	n.serTimeouts.Add(end, 1)
 	if tr := n.tracer(); tr != nil {
 		tr.Emit(trace.Event{TS: int64(end), Ph: trace.PhaseInstant,
 			Pid: trace.PidCore, Tid: n.task.ID(), Cat: "core", Name: "read_timeout",
@@ -506,6 +535,7 @@ func (n *Node) recordStaleness(curIter, gotIter int64) int64 {
 		n.stats.StaleMax = s
 	}
 	n.stale.Observe(s)
+	n.serStale.Observe(n.now(), s)
 	return s
 }
 

@@ -81,12 +81,13 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 	if err != nil {
 		return res, err
 	}
+	opts.sweepStart("agesweep-refs", nLoads*nTrials)
 	refs, err := runner.MapMemo(nLoads*nTrials, opts.Workers,
 		func(i int) string {
 			return fmt.Sprintf("agesweep ref load=%.1fMbps trial=%d", loads[i/nTrials]/1e6, i%nTrials)
 		},
 		refMemo,
-		func(i int) (refOut, error) {
+		withProgress(opts, "agesweep-refs", func(i int) (refOut, error) {
 			load, trial := loads[i/nTrials], i%nTrials
 			seed := ageSweepSeed(opts, trial)
 			serial := ga.RunSerial(fn, par, par.N*p, opts.SyncGens, seed, calib)
@@ -106,10 +107,11 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				return refOut{}, err
 			}
 			return refOut{Serial: serial.Time, Target: syncRes.Avg}, nil
-		})
+		}))
 	if err != nil {
 		return res, err
 	}
+	opts.sweepDone("agesweep-refs")
 
 	// Stage 2: the sweep surface. Age index len(ageSweepAges) is the
 	// dynamic-age pseudo-point. Fields exported: checkpoint-journal
@@ -136,6 +138,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 	if err != nil {
 		return res, err
 	}
+	opts.sweepStart("agesweep-cells", nLoads*nAges*nTrials)
 	outs, err := runner.MapMemo(nLoads*nAges*nTrials, opts.Workers,
 		func(i int) string {
 			li, ai, trial := i/(nAges*nTrials), (i/nTrials)%nAges, i%nTrials
@@ -147,7 +150,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			return fmt.Sprintf("agesweep load=%.1fMbps %s trial=%d", loads[li]/1e6, name, trial)
 		},
 		cellMemo,
-		func(i int) (cellOut, error) {
+		withProgress(opts, "agesweep-cells", func(i int) (cellOut, error) {
 			li, ai, trial := i/(nAges*nTrials), (i/nTrials)%nAges, i%nTrials
 			age, dynamic := cellAge(ai)
 			seed := ageSweepSeed(opts, trial)
@@ -175,10 +178,11 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				out.Tolerated, out.Unbounded = rt.ToleratedStale, rt.Unbounded
 			}
 			return out, nil
-		})
+		}))
 	if err != nil {
 		return res, err
 	}
+	opts.sweepDone("agesweep-cells")
 
 	// Aggregate trials in enumeration order.
 	for li, load := range loads {

@@ -50,7 +50,9 @@ func (o Options) sweepSpace(sweep string) ckpt.Key {
 // sweepMemo opens the named sweep's journal in the configured store
 // and binds the job index → cell fingerprint mapping. It returns a
 // typed nil interface when no store is configured, which runner.MapMemo
-// treats as plain Map.
+// treats as plain Map. With a Progress sink configured, the memo is
+// wrapped so cache hits report CellDone (a hit never reaches the cell
+// function, where computed cells report).
 func (o Options) sweepMemo(sweep string, key func(int) ckpt.Key) (runner.Memo, error) {
 	if o.Ckpt == nil {
 		return nil, nil
@@ -59,7 +61,26 @@ func (o Options) sweepMemo(sweep string, key func(int) ckpt.Key) (runner.Memo, e
 	if err != nil {
 		return nil, err
 	}
+	if o.Progress != nil {
+		return progressMemo{Memo: m, sink: o.Progress, sweep: sweep}, nil
+	}
 	return m, nil
+}
+
+// progressMemo reports replayed cells to the progress sink. Lookup may
+// run concurrently on pool workers; the sink owns its synchronization.
+type progressMemo struct {
+	runner.Memo
+	sink  ProgressSink
+	sweep string
+}
+
+func (m progressMemo) Lookup(i int) ([]byte, bool) {
+	data, ok := m.Memo.Lookup(i)
+	if ok {
+		m.sink.CellDone(m.sweep)
+	}
+	return data, ok
 }
 
 // cellFingerprint starts a cell key in the given sweep's coordinate

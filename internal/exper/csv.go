@@ -4,6 +4,8 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+
+	"nscc/internal/metrics"
 )
 
 // WriteGARowsCSV emits GA experiment rows as CSV (one line per
@@ -30,6 +32,47 @@ func WriteGARowsCSV(w io.Writer, rows []GARow) error {
 				fmt.Sprintf("%d", r.OptFound[v]),
 				fmt.Sprintf("%d", r.TargetMiss[v]),
 				fmt.Sprintf("%.3f", r.Warp[v]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesCSV emits windowed time-series summaries as long-format
+// CSV (one line per series window) for external plotting: the window's
+// simulated start time in seconds, the sample count, and the kind's
+// value (counter sum, gauge/quantile mean) plus the quantile columns
+// when present.
+func WriteSeriesCSV(w io.Writer, series []metrics.SeriesSummary) error {
+	cw := csv.NewWriter(w)
+	header := []string{"series", "kind", "window_s", "count", "value", "max", "p90"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, v := range s.Values {
+			var count int64
+			if i < len(s.Counts) {
+				count = s.Counts[i]
+			}
+			rec := []string{
+				s.Name,
+				s.Kind,
+				fmt.Sprintf("%.3f", float64(i)*s.WindowSecs),
+				fmt.Sprintf("%d", count),
+				fmt.Sprintf("%.6g", v),
+				"",
+				"",
+			}
+			if i < len(s.Max) {
+				rec[5] = fmt.Sprintf("%.6g", s.Max[i])
+			}
+			if i < len(s.P90) {
+				rec[6] = fmt.Sprintf("%.6g", s.P90[i])
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

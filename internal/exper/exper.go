@@ -116,6 +116,53 @@ type Options struct {
 	// byte-identical to an uninterrupted, uncached run at any worker
 	// count.
 	Ckpt *ckpt.Store
+	// Progress, if non-nil, receives sweep lifecycle callbacks: one
+	// SweepStart per sweep with its cell count, one CellDone per cell
+	// (computed or replayed from the checkpoint cache), one SweepDone on
+	// success. Strictly observational — it never reaches the
+	// simulations, is excluded from checkpoint fingerprints, and cannot
+	// change any sweep output. Implementations must be safe for
+	// concurrent use by pool workers (the -http status server is one).
+	Progress ProgressSink
+}
+
+// ProgressSink observes sweep execution. Callbacks may arrive
+// concurrently from pool workers; implementations synchronize
+// internally (package exper itself stays free of raw concurrency).
+type ProgressSink interface {
+	SweepStart(sweep string, cells int)
+	CellDone(sweep string)
+	SweepDone(sweep string)
+}
+
+// sweepStart reports a sweep's start (nil-safe).
+func (o Options) sweepStart(sweep string, cells int) {
+	if o.Progress != nil {
+		o.Progress.SweepStart(sweep, cells)
+	}
+}
+
+// sweepDone reports a sweep's successful completion (nil-safe).
+func (o Options) sweepDone(sweep string) {
+	if o.Progress != nil {
+		o.Progress.SweepDone(sweep)
+	}
+}
+
+// withProgress wraps a sweep's cell function so each computed cell
+// reports CellDone. Cache hits never reach fn; they report through the
+// memo wrapper in sweepMemo instead, so every cell fires exactly once.
+func withProgress[T any](o Options, sweep string, fn func(int) (T, error)) func(int) (T, error) {
+	if o.Progress == nil {
+		return fn
+	}
+	return func(i int) (T, error) {
+		v, err := fn(i)
+		if err == nil {
+			o.Progress.CellDone(sweep)
+		}
+		return v, err
+	}
 }
 
 // netOverride returns the bus config override the fault knobs imply,

@@ -35,16 +35,22 @@ func runGACells(ctx string, cells []gaCellRef, opts Options) ([]trialOut, error)
 	if err != nil {
 		return nil, err
 	}
-	return runner.MapMemo(len(cells), opts.Workers,
+	opts.sweepStart(ctx, len(cells))
+	outs, err := runner.MapMemo(len(cells), opts.Workers,
 		func(i int) string {
 			c := cells[i]
 			return fmt.Sprintf("%s F%d P=%d load=%.1fMbps trial=%d", ctx, c.fn.No, c.p, c.load/1e6, c.trial)
 		},
 		memo,
-		func(i int) (trialOut, error) {
+		withProgress(opts, ctx, func(i int) (trialOut, error) {
 			c := cells[i]
 			return gaTrial(c.fn, c.p, gaCellSeed(opts, c.trial, c.fn, c.p), opts, c.load)
-		})
+		}))
+	if err != nil {
+		return nil, err
+	}
+	opts.sweepDone(ctx)
+	return outs, nil
 }
 
 // Figure2Result holds the GA speedups on the unloaded network (Figure
@@ -236,12 +242,13 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 	if err != nil {
 		return res, err
 	}
+	opts.sweepStart("figure3", len(cells))
 	outs, err := runner.MapMemo(len(cells), opts.Workers,
 		func(i int) string {
 			return fmt.Sprintf("figure3 %s trial=%d", cells[i].net.Name, cells[i].trial)
 		},
 		memo,
-		func(i int) (bayesTrialOut, error) {
+		withProgress(opts, "figure3", func(i int) (bayesTrialOut, error) {
 			bn, trial := cells[i].net, cells[i].trial
 			// The trial seed is shared across networks (not a collision:
 			// each network is a distinct paired experiment on the stream).
@@ -278,10 +285,11 @@ func Figure3(w io.Writer, opts Options) (Figure3Result, error) {
 				out.Iters[v] = pr.Iters
 			}
 			return out, nil
-		})
+		}))
 	if err != nil {
 		return res, err
 	}
+	opts.sweepDone("figure3")
 
 	totSerial := sim.Duration(0)
 	totPar := map[Variant]sim.Duration{}

@@ -98,10 +98,11 @@ func Table2(w io.Writer, opts Options) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.sweepStart("table2", len(nets))
 	rows, err := runner.MapMemo(len(nets), opts.Workers,
 		func(i int) string { return fmt.Sprintf("table2 %s", nets[i].Name) },
 		memo,
-		func(i int) (Table2Row, error) {
+		withProgress(opts, "table2", func(i int) (Table2Row, error) {
 			bn := nets[i]
 			rng := rand.New(rand.NewSource(runner.DeriveSeed(opts.Seed, seedStreamTable2, int64(i))))
 			g := bn.Graph()
@@ -118,10 +119,11 @@ func Table2(w io.Writer, opts Options) ([]Table2Row, error) {
 				Serial:    serial.Time,
 				SerialRef: paperSerialSecs[bn.Name],
 			}, nil
-		})
+		}))
 	if err != nil {
 		return nil, err
 	}
+	opts.sweepDone("table2")
 	for i := range rows {
 		rows[i].Net = nets[i]
 	}

@@ -10,6 +10,7 @@ import (
 	"nscc/internal/ga/functions"
 	"nscc/internal/metrics"
 	"nscc/internal/trace"
+	"nscc/internal/tseries"
 )
 
 // TraceTelemetry is the machine-readable result of TraceRun: one
@@ -64,6 +65,7 @@ func TraceRun(w io.Writer, opts Options, tr trace.Tracer) (*TraceTelemetry, erro
 	grCfg.Age = traceAge
 	grCfg.Target = syncRes.Avg
 	grCfg.Tracer = tr
+	grCfg.Series = tseries.NewSet(tseries.DefaultWindow)
 	grRes, err := ga.RunIsland(grCfg)
 	if err != nil {
 		return nil, fmt.Errorf("trace demo gr(%d): %w", traceAge, err)
@@ -82,6 +84,7 @@ func TraceRun(w io.Writer, opts Options, tr trace.Tracer) (*TraceTelemetry, erro
 		Reliable:    opts.Reliable,
 		ReadTimeout: opts.ReadTimeout,
 		RaceCheck:   opts.SimRace,
+		Series:      tseries.NewSet(tseries.DefaultWindow),
 	}
 	bres, err := bayes.RunParallel(bcfg)
 	if err != nil {

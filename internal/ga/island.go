@@ -12,6 +12,7 @@ import (
 	"nscc/internal/sim"
 	"nscc/internal/simrace"
 	"nscc/internal/trace"
+	"nscc/internal/tseries"
 )
 
 // doneTag carries the "a subpopulation has converged past the target"
@@ -140,6 +141,13 @@ type IslandConfig struct {
 	// time, message order, and the GA result are identical with it on or
 	// off.
 	RaceCheck bool
+
+	// Series, if set, records the run's windowed simulated-time series
+	// (core staleness/timeouts, pvm queue depth/retransmits, net busy
+	// time/drops, gauge "ga.avg_fitness" per generation, gauge
+	// "pvm.warp" copied from the warp series) into the given set and
+	// exports them in Telemetry.Series. Strictly observational.
+	Series *tseries.Set
 }
 
 // IslandResult reports one parallel run.
@@ -185,13 +193,17 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	eng.SetTracer(cfg.Tracer)
 	var net netsim.Fabric
 	if cfg.Switch != nil {
-		net = netsim.NewSwitch(eng, *cfg.Switch)
+		sw := netsim.NewSwitch(eng, *cfg.Switch)
+		sw.SetSeries(cfg.Series)
+		net = sw
 	} else {
 		netCfg := netsim.DefaultConfig()
 		if cfg.Net != nil {
 			netCfg = *cfg.Net
 		}
-		net = netsim.New(eng, netCfg)
+		bus := netsim.New(eng, netCfg)
+		bus.SetSeries(cfg.Series)
+		net = bus
 	}
 	if cfg.Faults != nil {
 		net = faults.Wrap(net, cfg.Faults)
@@ -204,8 +216,10 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 		pvmCfg.Reliable = true
 	}
 	machine := pvm.NewMachine(eng, net, pvmCfg)
+	machine.SetSeries(cfg.Series)
 	warp := metrics.NewWarpMeter()
 	warpSeries := metrics.NewWarpSeries(100 * sim.Millisecond)
+	serFit := cfg.Series.Gauge("ga.avg_fitness")
 	machine.ArrivalHook = func(dst int, m *pvm.Message) {
 		warp.Observe(dst, m.Src, m.SentAt, m.ArrivedAt)
 		warpSeries.Observe(dst, m.Src, m.SentAt, m.ArrivedAt)
@@ -217,6 +231,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	if cfg.ReadTimeout > 0 {
 		nodeOpts.ReadTimeout = cfg.ReadTimeout
 	}
+	nodeOpts.Series = cfg.Series
 	var rc *simrace.Checker
 	if cfg.RaceCheck {
 		rc = simrace.New(eng)
@@ -383,6 +398,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 					}
 				}
 
+				serFit.Add(task.Now(), deme.AvgFit())
 				if tr := task.Tracer(); tr != nil {
 					// One span per generation's compute+migration work
 					// (barrier waiting, in Sync mode, stays outside it).
@@ -445,6 +461,16 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	}
 	if rc != nil {
 		res.Telemetry.Races = rc.Telemetry()
+	}
+	if cfg.Series != nil {
+		// Copy the warp series into the set as gauge "pvm.warp" (one
+		// sample per 100 ms window, at the window's start) so the export
+		// carries warp alongside the other windowed series.
+		serWarp := cfg.Series.Gauge("pvm.warp")
+		for w, v := range res.WarpWindows {
+			serWarp.Add(sim.Time(int64(w) * int64(100*sim.Millisecond)), v)
+		}
+		res.Telemetry.Series = cfg.Series.Summaries()
 	}
 	return res, nil
 }

@@ -75,6 +75,46 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Quantile returns an upper bound on the q-quantile of the observed
+// samples: the inclusive upper edge of the smallest bucket whose
+// cumulative count reaches q*n, clamped to the observed maximum (the
+// bucket edge can exceed it by up to 2x). q is clamped to [0, 1]; an
+// empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based: ceil(q*n), at least 1.
+	rank := int64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			var hi int64
+			if i > 0 {
+				hi = int64(1)<<i - 1
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
 // HistBucket is one non-empty bucket of a histogram: samples v with
 // Lo <= v <= Hi.
 type HistBucket struct {

@@ -96,3 +96,84 @@ func TestHistogramMerge(t *testing.T) {
 		t.Errorf("empty summary = %+v", s)
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all land in bucket [4,7]
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		if got := h.Quantile(q); got != 5 {
+			// Bucket upper edge is 7, clamped to the observed max 5.
+			t.Errorf("Quantile(%v) = %d, want 5 (clamped to max)", q, got)
+		}
+	}
+	// Out-of-range q clamps instead of misbehaving.
+	if h.Quantile(-0.5) != h.Quantile(0) || h.Quantile(1.5) != h.Quantile(1) {
+		t.Error("q outside [0,1] not clamped")
+	}
+}
+
+func TestHistogramQuantileZeroBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(100)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("median of {-3,0,100} bucketed = %d, want 0 (non-positive bucket)", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, b Histogram
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 || a.Max() != 0 || a.Quantile(0.5) != 0 {
+		t.Errorf("empty merge dirtied histogram: n=%d max=%d", a.N(), a.Max())
+	}
+	a.Merge(nil) // nil is a no-op
+	b.Observe(8)
+	a.Merge(&b)
+	if a.N() != 1 || a.Max() != 8 {
+		t.Errorf("merge of one sample: n=%d max=%d", a.N(), a.Max())
+	}
+}
+
+func TestHistogramMergeCrossScale(t *testing.T) {
+	// One histogram of tiny samples, one of huge ones: the fixed bucket
+	// layout makes the merge exact, and quantiles reflect both scales.
+	var small, big Histogram
+	for i := 0; i < 90; i++ {
+		small.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		big.Observe(1 << 40)
+	}
+	small.Merge(&big)
+	if small.N() != 100 {
+		t.Fatalf("n = %d", small.N())
+	}
+	if got := small.Quantile(0.5); got != 1 {
+		t.Errorf("median = %d, want 1", got)
+	}
+	if got := small.Quantile(0.95); got != 1<<40 {
+		t.Errorf("p95 = %d, want 2^40 (clamped to max)", got)
+	}
+	if small.Max() != 1<<40 {
+		t.Errorf("max = %d", small.Max())
+	}
+	if small.Sum() != 90+10*(1<<40) {
+		t.Errorf("sum = %d", small.Sum())
+	}
+}

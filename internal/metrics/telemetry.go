@@ -119,6 +119,29 @@ type Telemetry struct {
 	// Cache is the checkpoint cache's hit/miss accounting; nil unless
 	// the run was executed with a cache directory configured.
 	Cache *CacheTelemetry `json:"cache,omitempty"`
+
+	// Series carries the windowed simulated-time series recorded during
+	// the run (internal/tseries summaries, sorted by name); empty unless
+	// the run was configured with a series set.
+	Series []SeriesSummary `json:"series,omitempty"`
+}
+
+// SeriesSummary is the JSON export of one windowed simulated-time
+// series (produced by internal/tseries, defined here so Telemetry does
+// not depend on the recording package). Windows are contiguous from
+// simulated time 0; window i covers [i*WindowSecs, (i+1)*WindowSecs).
+// The per-window Values slice holds the window sum for counters and the
+// window mean for gauges and quantile series; Max and P90 are populated
+// for quantile series only.
+type SeriesSummary struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"` // "counter", "gauge", "quantile"
+	WindowSecs float64 `json:"window_secs"`
+
+	Counts []int64   `json:"counts,omitempty"` // per-window sample count
+	Values []float64 `json:"values"`
+	Max    []float64 `json:"max,omitempty"`
+	P90    []float64 `json:"p90,omitempty"`
 }
 
 // TotalBlockedSecs sums the per-task Global_Read blocked time.

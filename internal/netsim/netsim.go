@@ -16,6 +16,7 @@ import (
 	"nscc/internal/metrics"
 	"nscc/internal/sim"
 	"nscc/internal/trace"
+	"nscc/internal/tseries"
 )
 
 // Config describes the physical and protocol parameters of the network.
@@ -106,6 +107,23 @@ type Network struct {
 	// counter record is emitted when a window closes.
 	winStart sim.Time
 	winBusy  sim.Duration
+
+	// Windowed series resolved by SetSeries (nil when off).
+	serBusy  *tseries.Series
+	serDrops *tseries.Series
+	serQueue *tseries.Series
+}
+
+// SetSeries wires the bus's windowed simulated-time series into set:
+// counter "net.busy_us" (microseconds of medium occupancy, attributed
+// to the window each frame's transmission started in), counter
+// "net.drops" (lost deliveries per window), and gauge
+// "net.queue_depth" (frames waiting or in flight, sampled per frame).
+// Strictly observational; a nil set is a no-op.
+func (n *Network) SetSeries(set *tseries.Set) {
+	n.serBusy = set.Counter("net.busy_us")
+	n.serDrops = set.Counter("net.drops")
+	n.serQueue = set.Gauge("net.queue_depth")
 }
 
 // utilWindow is the width of the traced utilization windows (matching
@@ -217,6 +235,8 @@ func (n *Network) admitFrame(src, size int, onWire func()) sim.Time {
 	if n.queued > n.stats.MaxQueueLen {
 		n.stats.MaxQueueLen = n.queued
 	}
+	n.serBusy.Add(start, float64(tx)/1e3)
+	n.serQueue.Add(now, float64(n.queued))
 	if tr := n.eng.Tracer(); tr != nil {
 		n.traceFrame(tr, now, start, tx)
 	}
@@ -252,6 +272,7 @@ func (n *Network) Unicast(src, dst, size int, payload interface{}, onWire func()
 		n.queued--
 		if lost {
 			n.stats.Dropped++
+			n.serDrops.Add(n.eng.Now(), 1)
 			n.traceDrop(src, dst, size)
 			return
 		}
@@ -290,6 +311,7 @@ func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, 
 		for i, dst := range dsts {
 			if lost != nil && lost[i] {
 				n.stats.Dropped++
+				n.serDrops.Add(n.eng.Now(), 1)
 				n.traceDrop(src, dst, size)
 				continue
 			}

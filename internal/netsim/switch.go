@@ -5,6 +5,7 @@ import (
 
 	"nscc/internal/sim"
 	"nscc/internal/trace"
+	"nscc/internal/tseries"
 )
 
 // Fabric is the interconnect abstraction: the shared-Ethernet bus
@@ -77,6 +78,21 @@ type Switch struct {
 
 	egressFreeAt []sim.Time // per source node
 	stats        Stats
+
+	// Windowed series resolved by SetSeries (nil when off).
+	serBusy    *tseries.Series
+	serBacklog *tseries.Series
+}
+
+// SetSeries wires the switch's windowed simulated-time series into
+// set: counter "net.busy_us" (microseconds of egress-link occupancy,
+// attributed to the window each transfer started in) and gauge
+// "net.backlog_us" (per-send egress backlog — how long the sender's
+// own link made the transfer wait). Strictly observational; a nil set
+// is a no-op.
+func (s *Switch) SetSeries(set *tseries.Set) {
+	s.serBusy = set.Counter("net.busy_us")
+	s.serBacklog = set.Gauge("net.backlog_us")
 }
 
 // NewSwitch creates a switch fabric on eng.
@@ -142,6 +158,8 @@ func (s *Switch) Unicast(src, dst, size int, payload interface{}, onWire func())
 	s.stats.Bytes += int64(size + s.cfg.FrameOverhead)
 	s.stats.BusyTime += tx
 	s.stats.QueueDelay += start.Sub(now)
+	s.serBusy.Add(start, float64(tx)/1e3)
+	s.serBacklog.Add(now, float64(start.Sub(now))/1e3)
 	end := start.Add(tx)
 	s.eng.Schedule(end.Add(s.cfg.Latency), func() {
 		s.stats.Delivered++
@@ -178,6 +196,7 @@ func (s *Switch) Multicast(src int, dsts []int, size int, payload interface{}, o
 			K1: "backlog_us", V1: int64(start.Sub(now)) / 1000,
 			K2: "fanout", V2: int64(len(dsts))})
 	}
+	s.serBacklog.Add(now, float64(start.Sub(now))/1e3)
 	for _, dst := range dsts {
 		if dst < 0 || dst >= len(s.handlers) {
 			panic(fmt.Sprintf("netsim: send to unknown node %d", dst))
@@ -187,6 +206,7 @@ func (s *Switch) Multicast(src int, dsts []int, size int, payload interface{}, o
 		s.stats.Bytes += int64(size + s.cfg.FrameOverhead)
 		s.stats.BusyTime += tx
 		s.stats.QueueDelay += start.Sub(now)
+		s.serBusy.Add(start, float64(tx)/1e3)
 		end := start.Add(tx)
 		deliverAt := end.Add(s.cfg.Latency)
 		dst := dst

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"nscc/internal/exper"
+	"nscc/internal/ga/functions"
+)
+
+// smallOpts is a sweep small enough for a unit test but large enough
+// to exercise the pool.
+func smallOpts() exper.Options {
+	return exper.Options{
+		Trials:    2,
+		SyncGens:  20,
+		CapFactor: 4,
+		Procs:     []int{2},
+		Seed:      7,
+		Precision: 0.05,
+		Workers:   4,
+	}
+}
+
+// TestObserverDoesNotPerturbSweep is the determinism contract of the
+// -http flag: a sweep run with the observability server attached as
+// progress sink must produce byte-identical output to the same sweep
+// run with no sink at all.
+func TestObserverDoesNotPerturbSweep(t *testing.T) {
+	fns := []*functions.Function{functions.F1, functions.F2}
+
+	var plain bytes.Buffer
+	if _, err := exper.Figure2(&plain, smallOpts(), fns); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	opts := smallOpts()
+	opts.Progress = s
+	var observed bytes.Buffer
+	res, err := exper.Figure2(&observed, opts, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(plain.Bytes(), observed.Bytes()) {
+		t.Errorf("observed run output differs from plain run:\n--- plain ---\n%s\n--- observed ---\n%s",
+			plain.String(), observed.String())
+	}
+
+	// The sink saw the whole sweep: every cell and the completion mark.
+	body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	wantCells := len(fns) * opts.Trials * len(opts.Procs)
+	for _, want := range []string{
+		"nscc_sweep_cells{sweep=\"figure2\"} 4",
+		"nscc_sweep_cells_done_total{sweep=\"figure2\"} 4",
+		"nscc_sweep_finished{sweep=\"figure2\"} 1",
+	} {
+		if !bytes.Contains([]byte(body), []byte(want)) {
+			t.Errorf("metrics missing %q (want %d cells):\n%s", want, wantCells, body)
+		}
+	}
+
+	// Speedup tables must match cell for cell, not just rendering.
+	plainRes, err := exper.Figure2(nil, smallOpts(), fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerFunc) != len(plainRes.PerFunc) {
+		t.Fatalf("row count differs: %d vs %d", len(res.PerFunc), len(plainRes.PerFunc))
+	}
+	for i := range res.PerFunc {
+		for v, s1 := range res.PerFunc[i].Speedup {
+			if s2 := plainRes.PerFunc[i].Speedup[v]; s1 != s2 {
+				t.Errorf("row %d %s: speedup %v vs %v", i, v, s1, s2)
+			}
+		}
+	}
+}

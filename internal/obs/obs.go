@@ -1,0 +1,340 @@
+// Package obs is the live, read-only observability server behind the
+// CLI tools' -http flag. It serves an OpenMetrics /metrics endpoint,
+// the standard net/http/pprof profiles, and a plain-text status page
+// with per-sweep progress, ETA, and throughput sparklines.
+//
+// The server is strictly an observer: it receives progress callbacks
+// (it implements exper.ProgressSink) and published telemetry
+// snapshots, and never feeds anything back into the simulations — a
+// sweep run with the server attached produces byte-identical artifacts
+// to one run without it. Because the package sits outside the
+// determinism lint's rawconc scope, host-side goroutines and mutexes
+// are legal here; the wall-clock reads that drive ETAs are annotated
+// as host-side measurement.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"nscc/internal/metrics"
+	"nscc/internal/report"
+)
+
+// throughputBuckets is the width of the per-sweep completions-per-
+// second ring buffer the status page renders as a sparkline.
+const throughputBuckets = 60
+
+// sweepState tracks one sweep's progress.
+type sweepState struct {
+	total    int
+	done     int
+	finished bool
+	started  time.Time
+	// perSec is a ring of cells completed per elapsed second, for the
+	// status page's throughput sparkline.
+	perSec [throughputBuckets]float64
+	lastIx int64
+}
+
+// Server is the -http observability endpoint. The zero value is not
+// usable; create one with Start. All methods are safe for concurrent
+// use (sweep callbacks arrive from pool workers).
+type Server struct {
+	mu     sync.Mutex
+	order  []string // sweeps in start order
+	sweeps map[string]*sweepState
+	telem  map[string]*metrics.Telemetry
+	truns  []string // telemetry names in publish order
+	cache  *metrics.CacheTelemetry
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// /metrics, /debug/pprof/, and the status page until Close. Handlers
+// run on background goroutines owned by net/http; they only ever read
+// the server's published state.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		sweeps: map[string]*sweepState{},
+		telem:  map[string]*metrics.Telemetry{},
+		ln:     ln,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listener's resolved address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down. In-flight requests are abandoned;
+// the tools call this on exit only.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// SweepStart implements exper.ProgressSink.
+func (s *Server) SweepStart(sweep string, cells int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sweeps[sweep]
+	if !ok {
+		st = &sweepState{}
+		s.sweeps[sweep] = st
+		s.order = append(s.order, sweep)
+	}
+	st.total = cells
+	st.done = 0
+	st.finished = false
+	st.started = time.Now() //nscc:wallclock -- host-side ETA baseline, not simulated time
+}
+
+// CellDone implements exper.ProgressSink.
+func (s *Server) CellDone(sweep string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.sweeps[sweep]
+	if !ok {
+		st = &sweepState{started: time.Now()} //nscc:wallclock -- host-side ETA baseline, not simulated time
+		s.sweeps[sweep] = st
+		s.order = append(s.order, sweep)
+	}
+	st.done++
+	ix := int64(time.Since(st.started).Seconds()) //nscc:wallclock -- host-side throughput meter, not simulated time
+	if ix < 0 {
+		ix = 0
+	}
+	// Clear any buckets the ring skipped over since the last sample.
+	for j := st.lastIx + 1; j <= ix && j-st.lastIx <= throughputBuckets; j++ {
+		st.perSec[j%throughputBuckets] = 0
+	}
+	st.lastIx = ix
+	st.perSec[ix%throughputBuckets]++
+}
+
+// SweepDone implements exper.ProgressSink.
+func (s *Server) SweepDone(sweep string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.sweeps[sweep]; ok {
+		st.finished = true
+	}
+}
+
+// PublishTelemetry exposes a run's telemetry snapshot under name on
+// /metrics and the status page. Re-publishing a name replaces it. The
+// telemetry is read concurrently by handlers afterwards; callers hand
+// over a finished snapshot and stop mutating it.
+func (s *Server) PublishTelemetry(name string, t *metrics.Telemetry) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.telem[name]; !ok {
+		s.truns = append(s.truns, name)
+	}
+	s.telem[name] = t
+}
+
+// PublishCache exposes the checkpoint cache's accounting snapshot.
+func (s *Server) PublishCache(c metrics.CacheTelemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = &c
+}
+
+// snapshot copies the state the handlers render, minimizing the lock
+// window.
+func (s *Server) snapshot() (order []string, sweeps map[string]sweepState, truns []string, telem map[string]*metrics.Telemetry, cache *metrics.CacheTelemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	order = append([]string{}, s.order...)
+	sweeps = make(map[string]sweepState, len(s.sweeps))
+	for k, v := range s.sweeps {
+		sweeps[k] = *v
+	}
+	truns = append([]string{}, s.truns...)
+	telem = make(map[string]*metrics.Telemetry, len(s.telem))
+	for k, v := range s.telem {
+		telem[k] = v
+	}
+	cache = s.cache
+	return
+}
+
+// handleMetrics serves the OpenMetrics text exposition: sweep progress,
+// published run telemetry, and checkpoint-cache counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	order, sweeps, truns, telem, cache := s.snapshot()
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# TYPE nscc_sweep_cells gauge\n")
+	fmt.Fprintf(&b, "# HELP nscc_sweep_cells Total cells in the sweep.\n")
+	for _, name := range order {
+		fmt.Fprintf(&b, "nscc_sweep_cells{sweep=%q} %d\n", name, sweeps[name].total)
+	}
+	fmt.Fprintf(&b, "# TYPE nscc_sweep_cells_done counter\n")
+	fmt.Fprintf(&b, "# HELP nscc_sweep_cells_done Cells completed (computed or replayed from cache).\n")
+	for _, name := range order {
+		fmt.Fprintf(&b, "nscc_sweep_cells_done_total{sweep=%q} %d\n", name, sweeps[name].done)
+	}
+	fmt.Fprintf(&b, "# TYPE nscc_sweep_finished gauge\n")
+	fmt.Fprintf(&b, "# HELP nscc_sweep_finished 1 once the sweep has completed.\n")
+	for _, name := range order {
+		v := 0
+		if sweeps[name].finished {
+			v = 1
+		}
+		fmt.Fprintf(&b, "nscc_sweep_finished{sweep=%q} %d\n", name, v)
+	}
+
+	if cache != nil {
+		fmt.Fprintf(&b, "# TYPE nscc_cache_hits counter\n")
+		fmt.Fprintf(&b, "nscc_cache_hits_total %d\n", cache.Hits)
+		fmt.Fprintf(&b, "# TYPE nscc_cache_misses counter\n")
+		fmt.Fprintf(&b, "nscc_cache_misses_total %d\n", cache.Misses)
+		fmt.Fprintf(&b, "# TYPE nscc_cache_invalidated counter\n")
+		fmt.Fprintf(&b, "nscc_cache_invalidated_total %d\n", cache.Invalidated)
+	}
+
+	if len(truns) > 0 {
+		fmt.Fprintf(&b, "# TYPE nscc_run_completion_seconds gauge\n")
+		fmt.Fprintf(&b, "# HELP nscc_run_completion_seconds Simulated completion time of a published run.\n")
+		for _, name := range truns {
+			fmt.Fprintf(&b, "nscc_run_completion_seconds{run=%q} %g\n", name, telem[name].CompletionSecs)
+		}
+		fmt.Fprintf(&b, "# TYPE nscc_run_warp_mean gauge\n")
+		for _, name := range truns {
+			fmt.Fprintf(&b, "nscc_run_warp_mean{run=%q} %g\n", name, telem[name].WarpMean)
+		}
+		fmt.Fprintf(&b, "# TYPE nscc_run_net_frames gauge\n")
+		for _, name := range truns {
+			fmt.Fprintf(&b, "nscc_run_net_frames{run=%q} %d\n", name, telem[name].Net.Frames)
+		}
+		fmt.Fprintf(&b, "# TYPE nscc_run_net_utilization gauge\n")
+		for _, name := range truns {
+			fmt.Fprintf(&b, "nscc_run_net_utilization{run=%q} %g\n", name, telem[name].Net.Utilization)
+		}
+		fmt.Fprintf(&b, "# TYPE nscc_run_staleness_violations gauge\n")
+		for _, name := range truns {
+			fmt.Fprintf(&b, "nscc_run_staleness_violations{run=%q} %d\n", name, telem[name].StalenessViolations)
+		}
+		// One summary point per windowed series: the sum over windows
+		// (full per-window resolution stays in the -metrics-out JSON).
+		fmt.Fprintf(&b, "# TYPE nscc_run_series_sum gauge\n")
+		fmt.Fprintf(&b, "# HELP nscc_run_series_sum Sum of a windowed simulated-time series over all windows.\n")
+		for _, name := range truns {
+			for _, ss := range telem[name].Series {
+				sum := 0.0
+				for _, v := range ss.Values {
+					sum += v
+				}
+				fmt.Fprintf(&b, "nscc_run_series_sum{run=%q,series=%q} %g\n", name, ss.Name, sum)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "# EOF\n")
+	fmt.Fprint(w, b.String())
+}
+
+// handleStatus serves the human-readable progress page.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	order, sweeps, truns, telem, cache := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "nscc live status\n\n")
+	if len(order) == 0 {
+		fmt.Fprintf(&b, "no sweeps started yet\n")
+	}
+	for _, name := range order {
+		st := sweeps[name]
+		fmt.Fprintf(&b, "%s\n", renderSweep(name, st))
+	}
+	if cache != nil {
+		fmt.Fprintf(&b, "\ncheckpoint cache: %d hits, %d misses", cache.Hits, cache.Misses)
+		if cache.Invalidated > 0 {
+			fmt.Fprintf(&b, ", %d invalidated", cache.Invalidated)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	for _, name := range truns {
+		t := telem[name]
+		fmt.Fprintf(&b, "\nrun %s (%s age=%d): completion %.3fs, warp mean %.2f, net util %.1f%%\n",
+			name, t.Variant, t.Age, t.CompletionSecs, t.WarpMean, t.Net.Utilization*100)
+		for _, ss := range t.Series {
+			fmt.Fprintf(&b, "  %-20s %s\n", ss.Name, report.AutoSparkline(ss.Values))
+		}
+	}
+	fmt.Fprintf(&b, "\nendpoints: /metrics (OpenMetrics), /debug/pprof/ (profiles)\n")
+	fmt.Fprint(w, b.String())
+}
+
+// renderSweep formats one sweep's progress line: completion bar,
+// counts, ETA from the observed rate, and a throughput sparkline over
+// the last minute.
+func renderSweep(name string, st sweepState) string {
+	var b strings.Builder
+	frac := 0.0
+	if st.total > 0 {
+		frac = float64(st.done) / float64(st.total)
+	}
+	const width = 24
+	filled := int(frac * width)
+	if filled > width {
+		filled = width
+	}
+	fmt.Fprintf(&b, "%-16s [%s%s] %d/%d (%.0f%%)",
+		name, strings.Repeat("█", filled), strings.Repeat("·", width-filled),
+		st.done, st.total, frac*100)
+	if st.finished {
+		fmt.Fprintf(&b, " done")
+	} else if st.done > 0 && st.total > st.done {
+		elapsed := time.Since(st.started) //nscc:wallclock -- host-side ETA, not simulated time
+		eta := time.Duration(float64(elapsed) / float64(st.done) * float64(st.total-st.done))
+		fmt.Fprintf(&b, " ETA %s", eta.Round(time.Second))
+	}
+	// Throughput over the ring, oldest bucket first.
+	var rate []float64
+	for i := int64(0); i < throughputBuckets; i++ {
+		rate = append(rate, st.perSec[(st.lastIx+1+i)%throughputBuckets])
+	}
+	if spark := report.Sparkline(rate, 0, maxOf(rate)); st.done > 0 {
+		fmt.Fprintf(&b, "  %s cells/s", spark)
+	}
+	return b.String()
+}
+
+func maxOf(vs []float64) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nscc/internal/metrics"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// checkOpenMetrics is a structural parse of the exposition format:
+// every line is a comment, blank, or `name{labels} value`, metric
+// names are legal, counters end in _total, and the body ends with
+// exactly one # EOF.
+func checkOpenMetrics(t *testing.T, body string) {
+	t.Helper()
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", body)
+	}
+	counters := map[string]bool{}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	for i, line := range lines {
+		if line == "" {
+			t.Fatalf("line %d: blank line in exposition", i+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" && fields[3] == "counter" {
+				counters[fields[2]] = true
+			}
+			continue
+		}
+		var value float64
+		valStr := line[strings.LastIndex(line, " ")+1:]
+		if _, err := fmt.Sscanf(valStr, "%g", &value); err != nil {
+			t.Fatalf("line %d: unparseable sample %q: %v", i+1, line, err)
+		}
+		if strings.Contains(line, "{") && !strings.Contains(line, "}") {
+			t.Fatalf("line %d: unterminated label set: %q", i+1, line)
+		}
+	}
+	for fam := range counters {
+		if strings.Contains(body, "\n"+fam+" ") || strings.Contains(body, "\n"+fam+"{") {
+			t.Fatalf("counter family %s exposes samples without _total suffix", fam)
+		}
+	}
+}
+
+func TestMetricsMidSweep(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A sweep in flight: 3 of 8 cells done, nothing finished.
+	s.SweepStart("figure2", 8)
+	for i := 0; i < 3; i++ {
+		s.CellDone("figure2")
+	}
+	s.PublishCache(metrics.CacheTelemetry{Hits: 2, Misses: 1})
+
+	body, ctype := get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.HasPrefix(ctype, "application/openmetrics-text") {
+		t.Errorf("content type = %q, want openmetrics", ctype)
+	}
+	checkOpenMetrics(t, body)
+	for _, want := range []string{
+		`nscc_sweep_cells{sweep="figure2"} 8`,
+		`nscc_sweep_cells_done_total{sweep="figure2"} 3`,
+		`nscc_sweep_finished{sweep="figure2"} 0`,
+		`nscc_cache_hits_total 2`,
+		`nscc_cache_misses_total 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	s.SweepDone("figure2")
+	body, _ = get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, `nscc_sweep_finished{sweep="figure2"} 1`) {
+		t.Errorf("sweep not marked finished:\n%s", body)
+	}
+}
+
+func TestMetricsTelemetry(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.PublishTelemetry("ga", &metrics.Telemetry{
+		Variant:        "gr(10)",
+		Age:            10,
+		CompletionSecs: 1.25,
+		WarpMean:       1.5,
+		Net:            metrics.NetTelemetry{Frames: 42, Utilization: 0.3},
+		Series: []metrics.SeriesSummary{
+			{Name: "pvm.retransmits", Kind: "counter", WindowSecs: 0.1, Values: []float64{1, 0, 2}},
+		},
+	})
+
+	body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	checkOpenMetrics(t, body)
+	for _, want := range []string{
+		`nscc_run_completion_seconds{run="ga"} 1.25`,
+		`nscc_run_warp_mean{run="ga"} 1.5`,
+		`nscc_run_net_frames{run="ga"} 42`,
+		`nscc_run_series_sum{run="ga",series="pvm.retransmits"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatusPage(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.SweepStart("agesweep-cells", 10)
+	s.CellDone("agesweep-cells")
+	s.PublishTelemetry("bayes", &metrics.Telemetry{
+		Variant: "gr(10)", Age: 10, CompletionSecs: 0.5,
+		Series: []metrics.SeriesSummary{
+			{Name: "bayes.iters", Kind: "counter", WindowSecs: 0.1, Values: []float64{5, 7, 6}},
+		},
+	})
+
+	body, ctype := get(t, "http://"+s.Addr()+"/")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ctype)
+	}
+	for _, want := range []string{"agesweep-cells", "1/10", "bayes.iters", "/debug/pprof/"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("status page missing %q:\n%s", want, body)
+		}
+	}
+
+	// Unknown paths 404 instead of rendering the status page.
+	resp, err := http.Get("http://" + s.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	body, _ := get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%.200s", body)
+	}
+}
+
+func TestCellDoneWithoutStart(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A cache replay can fire before the driver's SweepStart if a sink
+	// is shared across processes; the server must not panic.
+	s.CellDone("orphan")
+	body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	checkOpenMetrics(t, body)
+	if !strings.Contains(body, `nscc_sweep_cells_done_total{sweep="orphan"} 1`) {
+		t.Errorf("orphan cell not counted:\n%s", body)
+	}
+}

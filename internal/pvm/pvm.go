@@ -13,6 +13,7 @@ import (
 	"nscc/internal/netsim"
 	"nscc/internal/sim"
 	"nscc/internal/trace"
+	"nscc/internal/tseries"
 )
 
 // Any is the wildcard value for Recv/NRecv source and tag matching,
@@ -113,6 +114,34 @@ type Machine struct {
 	// the application, so it is where happens-before knowledge actually
 	// transfers — the simrace checker joins vector clocks here.
 	RecvHook func(dst int, m *Message)
+
+	// Windowed series resolved by SetSeries (nil when off).
+	queuedTotal int64
+	serQueue    *tseries.Series
+	serRetx     *tseries.Series
+	serBytes    *tseries.Series
+}
+
+// SetSeries wires the machine's windowed simulated-time series into
+// set: gauge "pvm.queue_depth" (machine-wide undequeued messages,
+// sampled at every enqueue and dequeue), counter "pvm.retransmits"
+// (reliable-transport resends per window), and counter
+// "pvm.bytes_sent" (payload bytes offered to the network per window).
+// Strictly observational. Call before Spawn; a nil set is a no-op.
+func (m *Machine) SetSeries(set *tseries.Set) {
+	m.serQueue = set.Gauge("pvm.queue_depth")
+	m.serRetx = set.Counter("pvm.retransmits")
+	m.serBytes = set.Counter("pvm.bytes_sent")
+}
+
+// noteQueue tracks the machine-wide queued-message level. delta is +1
+// at enqueue, -1 at dequeue.
+func (m *Machine) noteQueue(delta int64) {
+	if m.serQueue == nil {
+		return
+	}
+	m.queuedTotal += delta
+	m.serQueue.Add(m.eng.Now(), float64(m.queuedTotal))
 }
 
 // Tracer returns the tracer of the machine's engine (nil when tracing
@@ -238,6 +267,7 @@ func (m *Machine) Spawn(name string, fn func(*Task)) *Task {
 			}
 			t.traceArrival(msg)
 			t.queue = append(t.queue, msg)
+			m.noteQueue(1)
 			t.wl.WakeAll()
 		})
 	}
@@ -294,6 +324,7 @@ func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire
 	t.inflight++
 	msg := &Message{Src: t.id, Tag: tag, Data: data, Size: size, SentAt: t.m.eng.Now()}
 	t.bytesSent += int64(size)
+	t.m.serBytes.Add(msg.SentAt, float64(size))
 	t.traceSend(msg)
 	wireDone := func() {
 		t.inflight--
@@ -350,6 +381,7 @@ func (t *Task) take(src, tag int) *Message {
 			copy(t.queue[i:], t.queue[i+1:])
 			t.queue[len(t.queue)-1] = nil
 			t.queue = t.queue[:len(t.queue)-1]
+			t.m.noteQueue(-1)
 			return msg
 		}
 	}

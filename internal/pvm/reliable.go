@@ -129,6 +129,7 @@ func (t *Task) retransmit(p *pendingTx) {
 	p.tries++
 	p.backoff *= 2
 	r.retransmits++
+	t.m.serRetx.Add(t.m.eng.Now(), 1)
 	t.traceRel("retx", p.dst, p.seq)
 	t.m.net.Unicast(t.node, t.m.tasks[p.dst].node, p.env.msg.Size, p.env, nil)
 	p.timer = t.m.eng.Schedule(t.m.eng.Now().Add(p.backoff),
@@ -217,6 +218,7 @@ func (t *Task) deliverReliable(orig *Message) {
 	}
 	t.traceArrival(msg)
 	t.queue = append(t.queue, msg)
+	t.m.noteQueue(1)
 	t.wl.WakeAll()
 }
 

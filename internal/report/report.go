@@ -32,24 +32,37 @@ func Sparkline(values []float64, lo, hi float64) string {
 			f = 1
 		}
 		idx := int(f * float64(len(sparkLevels)-1))
+		if idx < 0 || idx >= len(sparkLevels) {
+			// int(f*...) with f exactly 1 and a huge scale, or an Inf that
+			// slipped through the clamps, must not index out of range.
+			idx = 0
+		}
 		b.WriteRune(sparkLevels[idx])
 	}
 	return b.String()
 }
 
-// AutoSparkline scales the sparkline to the series' own min/max.
+// AutoSparkline scales the sparkline to the series' own min/max,
+// ignoring NaN/Inf samples when deriving the bounds (they render as
+// the bottom glyph).
 func AutoSparkline(values []float64) string {
 	if len(values) == 0 {
 		return ""
 	}
-	lo, hi := values[0], values[0]
+	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		if v < lo {
 			lo = v
 		}
 		if v > hi {
 			hi = v
 		}
+	}
+	if hi < lo { // nothing finite
+		lo, hi = 0, 1
 	}
 	return Sparkline(values, lo, hi)
 }
@@ -74,7 +87,9 @@ func BarChart(bars []Bar, width int) string {
 		if len(b.Label) > maxLabel {
 			maxLabel = len(b.Label)
 		}
-		if b.Value > maxVal {
+		// NaN/Inf must not poison the scale (int(NaN) is undefined and a
+		// negative repeat count panics strings.Repeat).
+		if !math.IsNaN(b.Value) && !math.IsInf(b.Value, 0) && b.Value > maxVal {
 			maxVal = b.Value
 		}
 	}
@@ -83,9 +98,19 @@ func BarChart(bars []Bar, width int) string {
 	}
 	var out strings.Builder
 	for _, b := range bars {
-		n := int(b.Value / maxVal * float64(width))
+		f := b.Value / maxVal
+		if math.IsNaN(f) || f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		n := int(f * float64(width))
 		if n < 0 {
 			n = 0
+		}
+		if n > width {
+			n = width
 		}
 		fmt.Fprintf(&out, "%-*s %s%s %.2f\n",
 			maxLabel, b.Label,

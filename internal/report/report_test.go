@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -65,5 +66,55 @@ func TestBarChartEdgeCases(t *testing.T) {
 	out := BarChart([]Bar{{"zero", 0}}, 0)
 	if !strings.Contains(out, "zero") {
 		t.Fatalf("zero-value chart broken: %q", out)
+	}
+}
+
+func TestSparklineNaNInf(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	s := []rune(Sparkline([]float64{nan, inf, -inf, 1}, 0, 1))
+	if len(s) != 4 {
+		t.Fatalf("length %d", len(s))
+	}
+	if s[0] != '▁' || s[2] != '▁' {
+		t.Errorf("NaN/-Inf should render bottom glyph: %q", string(s))
+	}
+	if s[1] != '█' {
+		t.Errorf("+Inf should clamp to top glyph: %q", string(s))
+	}
+	// NaN bounds must not panic or index out of range.
+	if got := Sparkline([]float64{1, 2}, nan, nan); len([]rune(got)) != 2 {
+		t.Errorf("NaN bounds: %q", got)
+	}
+}
+
+func TestAutoSparklineIgnoresNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	s := []rune(AutoSparkline([]float64{nan, 1, 2, 3, inf}))
+	if len(s) != 5 {
+		t.Fatalf("length %d", len(s))
+	}
+	// Bounds come from the finite samples: 1 bottom, 3 top.
+	if s[1] != '▁' || s[3] != '█' {
+		t.Errorf("finite scaling wrong: %q", string(s))
+	}
+	// All-non-finite input renders without panicking.
+	if got := AutoSparkline([]float64{nan, inf}); len([]rune(got)) != 2 {
+		t.Errorf("all-non-finite: %q", got)
+	}
+}
+
+func TestBarChartNaNInf(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	// Must not panic (negative strings.Repeat) or let Inf set the scale.
+	out := BarChart([]Bar{{"nan", nan}, {"inf", inf}, {"real", 2}}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if strings.Count(lines[0], "█") != 0 {
+		t.Errorf("NaN bar not empty: %q", lines[0])
+	}
+	if strings.Count(lines[2], "█") != 10 {
+		t.Errorf("finite max bar not full width against Inf sibling: %q", lines[2])
 	}
 }
