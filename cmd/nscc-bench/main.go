@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4] [-profile quick|full]
+//	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4|agesweep|micro] [-profile quick|full]
 //	           [-trials N] [-gens N] [-procs 2,4,8,16] [-funcs 1,2,...] [-seed N]
 //	           [-workers N] [-bench-out BENCH_name.json]
 //	           [-cache-dir DIR] [-resume] [-http :8080]
@@ -33,6 +33,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -52,7 +54,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, agesweep")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, agesweep, micro (microbenchmarks only, requires -bench-out)")
 		profile  = flag.String("profile", "quick", "quick or full")
 		trials   = flag.Int("trials", 0, "override trial count")
 		gens     = flag.Int64("gens", 0, "override synchronous GA generations")
@@ -72,9 +74,19 @@ func main() {
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 		lossProb = flag.Float64("loss", 0, "override the Ethernet model's per-frame loss probability")
 		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker (adds race columns to the age sweep)")
+		profOut  = flag.String("profile-out", "", "write host pprof profiles of the run to PREFIX.cpu.pprof and PREFIX.heap.pprof (profile-guided optimization input; results are unchanged)")
 		httpAddr = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
 	)
 	flag.Parse()
+
+	if *profOut != "" {
+		stop, err := startProfiles(*profOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer stop()
+	}
 
 	var srv *obs.Server
 	if *httpAddr != "" {
@@ -304,6 +316,17 @@ func main() {
 			return err
 		})
 	}
+	// -exp micro runs only the standard DES microbenchmarks — the
+	// machine-independent allocs/op column is what CI's perf gate
+	// compares against the committed baseline, so a fresh run must not
+	// cost a whole sweep.
+	if *exp == "micro" {
+		matched = true
+		if *benchOut == "" {
+			fmt.Fprintln(os.Stderr, "-exp micro requires -bench-out (its only output is the snapshot)")
+			os.Exit(2)
+		}
+	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -336,6 +359,42 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *benchOut)
 	}
+}
+
+// startProfiles begins a CPU profile at PREFIX.cpu.pprof and returns a
+// stop function that ends it and writes the final heap profile to
+// PREFIX.heap.pprof. Host-side observability only: the simulated runs
+// are untouched, so output bytes are identical with or without it.
+func startProfiles(prefix string) (stop func(), err error) {
+	cpuPath := prefix + ".cpu.pprof"
+	cpuF, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("-profile-out: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, fmt.Errorf("-profile-out: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := cpuF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		heapPath := prefix + ".heap.pprof"
+		heapF, err := os.Create(heapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		runtime.GC() // settle the heap so the profile shows live objects, not transients
+		if err := pprof.Lookup("allocs").WriteTo(heapF, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if err := heapF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		fmt.Fprintf(os.Stderr, "-- profiles: %s, %s\n", cpuPath, heapPath)
+	}, nil
 }
 
 // writeCSV writes one CSV artifact into dir (no-op when dir is empty)

@@ -39,6 +39,22 @@ func TestBenchReportFailsOnRegression(t *testing.T) {
 	}
 }
 
+func TestBenchReportAllocsOnlyGateTripsOnAllocFixture(t *testing.T) {
+	// bench_allocs_regressed differs from bench_base ONLY in
+	// engine/schedule's allocs_per_op (2 -> 3); ns/op is identical, so
+	// a failure here can come only from the machine-independent allocs
+	// column — exactly what CI's cross-machine perf gate relies on.
+	base := load(t, "bench_base.json")
+	reg := load(t, "bench_allocs_regressed.json")
+	if code := benchReport(base, reg, 0.10, true, false); code != 1 {
+		t.Errorf("allocs-only gate on alloc regression: exit %d, want 1", code)
+	}
+	// The same pair passes when allocs recover (improvement direction).
+	if code := benchReport(reg, base, 0.10, true, false); code != 0 {
+		t.Errorf("allocs-only gate on alloc improvement: exit %d, want 0", code)
+	}
+}
+
 func TestBenchReportRefusesCrossMachine(t *testing.T) {
 	base := load(t, "bench_base.json")
 	other := load(t, "bench_base.json")

@@ -109,14 +109,16 @@ const checkEvery = 200
 func InferSerial(bn *Network, q Query, prec float64, seed int64, calib Calibration, maxIters int64) SerialResult {
 	rng := rand.New(rand.NewSource(seed))
 	jit := calib.NewJitterer(rng)
+	l := newLUT(bn, q)
 	values := make([]int, bn.N())
 	var res SerialResult
 	var hits int64
+	iterCost := calib.IterCost(bn.N()).Seconds()
 	for res.Iters < maxIters {
-		bn.SampleInto(values, rng)
+		l.sampleInto(values, rng)
 		res.Iters++
-		res.Time += sim.DurationOf(calib.IterCost(bn.N()).Seconds() * jit.Next())
-		if q.Matches(values) {
+		res.Time += sim.DurationOf(iterCost * jit.Next())
+		if l.matches(values) {
 			res.Accepted++
 			if values[q.Node] == q.State {
 				hits++

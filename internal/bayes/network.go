@@ -170,13 +170,14 @@ func hashUniform(seed, node, iter, combo int64) float64 {
 // the nodes"). Deterministic in seed.
 func (bn *Network) Defaults(nSamples int, seed int64) []int {
 	rng := rand.New(rand.NewSource(seed))
+	l := newLUT(bn, Query{})
 	counts := make([][]int, bn.N())
 	for i := range counts {
 		counts[i] = make([]int, bn.Nodes[i].States)
 	}
 	values := make([]int, bn.N())
 	for s := 0; s < nSamples; s++ {
-		bn.SampleInto(values, rng)
+		l.sampleInto(values, rng)
 		for i, v := range values {
 			counts[i][v]++
 		}

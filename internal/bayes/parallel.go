@@ -285,6 +285,7 @@ func (t *topology) syncStamp(iter int64, phase int) int64 {
 type worker struct {
 	cfg  *ParallelConfig
 	bn   *Network
+	lut  *lut // flattened CPT/evidence tables, shared read-only by the run
 	p    int
 	topo *topology
 
@@ -294,14 +295,23 @@ type worker struct {
 
 	defaults []int
 	owned    []int // node ids owned by this partition (topological order)
-	pos      map[int]int
+	pos      []int // node id -> index in owned; -1 for foreign nodes
 	evNodes  []int // evidence nodes owned by this partition
 
 	targets []int // partitions we send bundles to
 	sources []int // partitions we receive bundles from
+	// tgtPhase[ti][ph]: the interface nodes sent to targets[ti] in sync
+	// phase ph (precomputed so syncIteration builds no per-phase lists).
+	tgtPhase [][][]int
 
 	scratch []int
 	log     [][]int8
+	// logArena backs the log rows in logChunk-row slabs so the steady
+	// sampling loop allocates one slab per chunk instead of one slice
+	// per iteration. Rows are full-slice expressions into the arena and
+	// are repaired in place by rollbacks like any other row.
+	logArena   []int8
+	rowScratch []int8 // pre-repair copy buffer for handleRollbacks
 
 	batch     int64
 	batchFrom int64
@@ -315,7 +325,31 @@ type worker struct {
 	// Coordinator-only state.
 	coord   bool
 	evBits  [][]int8 // [part][iter]: -1 unknown, 0 no, 1 yes
+	evKnown []int64  // per part: length of the known (>= 0) prefix of evBits
 	stopped bool
+
+	// Incremental stopping-rule counters (coordinator only): iterations
+	// [0, cntWM) are folded into cntAcc/cntHits, so each preciseEnough
+	// check counts only newly finalized iterations instead of rescanning
+	// from zero. setEvBit and recountRepair adjust the counters when an
+	// already-counted iteration's evidence bit or sample row changes.
+	cntWM   int64
+	cntAcc  int64
+	cntHits int64
+}
+
+// logChunk is how many sample rows share one log-arena slab.
+const logChunk = 256
+
+// newLogRow returns a zeroed sample row carved from the log arena.
+func (w *worker) newLogRow() []int8 {
+	n := len(w.owned)
+	if len(w.logArena)+n > cap(w.logArena) {
+		w.logArena = make([]int8, 0, logChunk*n)
+	}
+	off := len(w.logArena)
+	w.logArena = w.logArena[:off+n]
+	return w.logArena[off : off+n : off+n]
 }
 
 // RunParallel executes one parallel logic-sampling configuration on a
@@ -355,6 +389,9 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	if cfg.Reliable {
 		pvmCfg.Reliable = true
 	}
+	// Message pooling is safe only without fault injection: duplication
+	// re-delivers the same payload pointer, which would double-release.
+	pvmCfg.Pooling = cfg.Faults == nil
 	machine := pvm.NewMachine(eng, net, pvmCfg)
 	machine.SetSeries(cfg.Series)
 	warp := metrics.NewWarpMeter()
@@ -373,6 +410,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	}
 
 	topo := buildTopology(bn, cfg.Query, cfg.P, cfg.Seed)
+	flat := newLUT(bn, cfg.Query)
 
 	defaults := bn.Defaults(2000, cfg.Seed^0x5eed)
 	if cfg.RandomDefaults {
@@ -408,10 +446,10 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 			}
 		}
 		w := &worker{
-			cfg: &cfg, bn: bn, p: p, topo: topo, batch: batch,
+			cfg: &cfg, bn: bn, lut: flat, p: p, topo: topo, batch: batch,
 			store:    rollback.NewStore(),
 			defaults: defaults,
-			pos:      map[int]int{},
+			pos:      make([]int, bn.N()),
 			scratch:  make([]int, bn.N()),
 			coord:    p == topo.coordinator,
 
@@ -419,13 +457,14 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 			serRollbacks: cfg.Series.Counter("bayes.rollbacks"),
 		}
 		for u := 0; u < bn.N(); u++ {
+			w.pos[u] = -1
 			if topo.parts[u] == p {
 				w.pos[u] = len(w.owned)
 				w.owned = append(w.owned, u)
 			}
 		}
-		for ev := 0; ev < bn.N(); ev++ {
-			if _, isEv := cfg.Query.Evidence[ev]; isEv && topo.parts[ev] == p {
+		for _, ev := range flat.evNodes {
+			if topo.parts[ev] == p {
 				w.evNodes = append(w.evNodes, ev)
 			}
 		}
@@ -440,8 +479,20 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 		}
 		sortInts(w.sources)
 		sortInts(w.targets)
+		if cfg.Mode == core.Sync {
+			w.tgtPhase = make([][][]int, len(w.targets))
+			for ti, dst := range w.targets {
+				byPhase := make([][]int, topo.numPhases)
+				for _, u := range topo.iface[p][dst] {
+					ph := topo.phases[u]
+					byPhase[ph] = append(byPhase[ph], u)
+				}
+				w.tgtPhase[ti] = byPhase
+			}
+		}
 		if w.coord {
 			w.evBits = make([][]int8, cfg.P)
+			w.evKnown = make([]int64, cfg.P)
 		}
 		workers[p] = w
 
@@ -588,12 +639,42 @@ func (w *worker) setEvBit(part int, iter int64, ok bool) {
 	for int64(len(bits)) <= iter {
 		bits = append(bits, -1)
 	}
+	nb := int8(0)
 	if ok {
-		bits[iter] = 1
-	} else {
-		bits[iter] = 0
+		nb = 1
 	}
+	ob := bits[iter]
+	bits[iter] = nb
 	w.evBits[part] = bits
+	if iter >= w.cntWM || ob == nb {
+		return
+	}
+	// A rollback correction rewrote an evidence bit the incremental
+	// counters already folded in (iter < cntWM guarantees every bit at
+	// iter is known, so ob is 0 or 1). Only part's bit changed; if the
+	// rest of the acceptance conjunction holds, swap the old
+	// contribution for the new one.
+	if !w.ownEvidenceOK(iter) {
+		return
+	}
+	for q := 0; q < w.cfg.P; q++ {
+		if q != w.p && q != part && w.evBits[q][iter] != 1 {
+			return
+		}
+	}
+	hit := int(w.log[iter][w.pos[w.cfg.Query.Node]]) == w.cfg.Query.State
+	if ob == 1 {
+		w.cntAcc--
+		if hit {
+			w.cntHits--
+		}
+	}
+	if nb == 1 {
+		w.cntAcc++
+		if hit {
+			w.cntHits++
+		}
+	}
 }
 
 // run is the partition's main loop. onExit is called exactly once with
@@ -677,7 +758,7 @@ func (w *worker) run(onExit func(sim.Time)) {
 // bundle locations.
 func (w *worker) syncIteration(t int64) {
 	topo := w.topo
-	out := make([]int8, len(w.owned))
+	out := w.newLogRow()
 	for ph := 0; ph < topo.numPhases; ph++ {
 		// Wait for every source's previous-phase bundle: phase-(ph-1)
 		// interface values unlock phase-ph sampling. Phase-0 nodes
@@ -693,7 +774,7 @@ func (w *worker) syncIteration(t int64) {
 				continue
 			}
 			nodes++
-			for _, pa := range w.bn.Nodes[u].Parents {
+			for _, pa := range w.lut.parents[u] {
 				if topo.parts[pa] == w.p {
 					w.scratch[pa] = int(out[w.pos[pa]])
 				} else {
@@ -701,7 +782,7 @@ func (w *worker) syncIteration(t int64) {
 					w.scratch[pa] = v
 				}
 			}
-			v := w.bn.SampleNodeAt(u, t, w.scratch, w.cfg.Seed)
+			v := w.lut.sampleNodeAt(u, t, w.scratch, w.cfg.Seed)
 			w.scratch[u] = v
 			out[w.pos[u]] = int8(v)
 		}
@@ -712,14 +793,12 @@ func (w *worker) syncIteration(t int64) {
 		// Publish this phase's interface values (plus, on the final
 		// phase, the evidence bit) to every target. Every pair
 		// exchanges every phase so the phase stamps stay in lockstep.
-		for _, dst := range w.targets {
-			b := &ifaceBundle{Part: w.p, Phase: ph, FirstIter: t}
-			row := []int8{}
-			for _, u := range topo.iface[w.p][dst] {
-				if topo.phases[u] == ph {
-					b.Nodes = append(b.Nodes, u)
-					row = append(row, out[w.pos[u]])
-				}
+		for ti, dst := range w.targets {
+			phNodes := w.tgtPhase[ti][ph]
+			b := &ifaceBundle{Part: w.p, Phase: ph, FirstIter: t, Nodes: phNodes}
+			row := make([]int8, len(phNodes))
+			for k, u := range phNodes {
+				row[k] = out[w.pos[u]]
 			}
 			b.Values = [][]int8{row}
 			if ph == topo.numPhases-1 {
@@ -737,7 +816,7 @@ func (w *worker) syncIteration(t int64) {
 // the given sample.
 func (w *worker) evidenceOKFor(sample []int8) bool {
 	for _, ev := range w.evNodes {
-		if int(sample[w.pos[ev]]) != w.cfg.Query.Evidence[ev] {
+		if int(sample[w.pos[ev]]) != w.lut.ev[ev] {
 			return false
 		}
 	}
@@ -790,7 +869,7 @@ func (w *worker) finish(onExit func(sim.Time)) {
 // always gambles on the defaults, repaired by rollback when the actuals
 // arrive (§3.2).
 func (w *worker) sampleIter(t int64) []int8 {
-	out := make([]int8, len(w.owned))
+	out := w.newLogRow()
 	w.fillSample(t, out)
 	return out
 }
@@ -798,18 +877,19 @@ func (w *worker) sampleIter(t int64) []int8 {
 // fillSample computes owned values for iteration t into out; used both
 // for fresh samples and rollback replays.
 func (w *worker) fillSample(t int64, out []int8) {
+	parts, pos, scratch := w.topo.parts, w.pos, w.scratch
 	for _, u := range w.owned {
-		for _, pa := range w.bn.Nodes[u].Parents {
-			if w.topo.parts[pa] == w.p {
-				w.scratch[pa] = int(out[w.pos[pa]])
+		for _, pa := range w.lut.parents[u] {
+			if parts[pa] == w.p {
+				scratch[pa] = int(out[pos[pa]])
 			} else {
 				v, _ := w.store.Consume(pa, t, w.defaults[pa])
-				w.scratch[pa] = v
+				scratch[pa] = v
 			}
 		}
-		v := w.bn.SampleNodeAt(u, t, w.scratch, w.cfg.Seed)
-		w.scratch[u] = v
-		out[w.pos[u]] = int8(v)
+		v := w.lut.sampleNodeAt(u, t, scratch, w.cfg.Seed)
+		scratch[u] = v
+		out[pos[u]] = int8(v)
 	}
 }
 
@@ -832,9 +912,19 @@ func (w *worker) flushBatch(upTo int64) {
 // iterations [from, to], from the sample log.
 func (w *worker) makeBundle(dst int, from, to int64) *ifaceBundle {
 	nodes := w.topo.iface[w.p][dst]
-	b := &ifaceBundle{Part: w.p, Phase: -1, Nodes: nodes, FirstIter: from}
+	rows := int(to - from + 1)
+	b := &ifaceBundle{
+		Part: w.p, Phase: -1, Nodes: nodes, FirstIter: from,
+		Values: make([][]int8, 0, rows),
+		EvOK:   make([]bool, 0, rows),
+	}
+	// One slab backs every row of the bundle: rows are written once
+	// here and only read by receivers, so sharing a backing array is
+	// safe and cuts the per-iteration row allocations.
+	slab := make([]int8, rows*len(nodes))
 	for t := from; t <= to; t++ {
-		row := make([]int8, len(nodes))
+		row := slab[:len(nodes):len(nodes)]
+		slab = slab[len(nodes):]
 		for i, u := range nodes {
 			row[i] = w.log[t][w.pos[u]]
 		}
@@ -892,10 +982,13 @@ func (w *worker) handleRollbacks() {
 				w.store.BeginRollback(d)
 				continue
 			}
-			old := make([]int8, len(w.log[d]))
-			copy(old, w.log[d])
+			w.rowScratch = append(w.rowScratch[:0], w.log[d]...)
+			old := w.rowScratch
 			w.store.BeginRollback(d)
 			w.fillSample(d, w.log[d])
+			if w.coord && d < w.cntWM {
+				w.recountRepair(d, old)
+			}
 
 			// Corrections for changed interface values / evidence bits
 			// — only for iterations already published; unsent ones go
@@ -946,25 +1039,86 @@ func (w *worker) ownEvidenceOK(t int64) bool {
 
 // finalWatermark is the highest iteration for which the coordinator has
 // complete information (its own sample plus every partition's evidence
-// bit).
+// bit). Evidence bits never revert to unknown, so each partition's
+// known prefix only grows and the cached evKnown positions let the scan
+// resume where it last stopped instead of rescanning from zero.
 func (w *worker) finalWatermark() int64 {
 	wm := int64(len(w.log))
 	for q := 0; q < w.cfg.P; q++ {
 		if q == w.p {
 			continue
 		}
-		known := int64(0)
-		for _, b := range w.evBits[q] {
-			if b < 0 {
-				break
-			}
-			known++
+		bits := w.evBits[q]
+		k := w.evKnown[q]
+		for k < int64(len(bits)) && bits[k] >= 0 {
+			k++
 		}
-		if known < wm {
-			wm = known
+		w.evKnown[q] = k
+		if k < wm {
+			wm = k
 		}
 	}
 	return wm
+}
+
+// contribAt reports iteration t's stopping-rule contribution from the
+// current log row and evidence bits. t must be below cntWM's target
+// watermark, so every part's bit at t is known.
+func (w *worker) contribAt(t int64) (acc, hit bool) {
+	if !w.ownEvidenceOK(t) {
+		return false, false
+	}
+	for q := 0; q < w.cfg.P; q++ {
+		if q != w.p && w.evBits[q][t] != 1 {
+			return false, false
+		}
+	}
+	return true, int(w.log[t][w.pos[w.cfg.Query.Node]]) == w.cfg.Query.State
+}
+
+// advanceCount folds iterations [cntWM, wm) into the incremental
+// counters. Together with the setEvBit/recountRepair adjustments this
+// keeps (cntHits, cntAcc) equal to countUpTo(cntWM) at all times.
+func (w *worker) advanceCount(wm int64) {
+	for t := w.cntWM; t < wm; t++ {
+		acc, hit := w.contribAt(t)
+		if acc {
+			w.cntAcc++
+			if hit {
+				w.cntHits++
+			}
+		}
+	}
+	if wm > w.cntWM {
+		w.cntWM = wm
+	}
+}
+
+// recountRepair fixes the incremental counters after a rollback repair
+// rewrote already-counted iteration d (old is the pre-repair row; the
+// evidence bits are unchanged by a local repair).
+func (w *worker) recountRepair(d int64, old []int8) {
+	for q := 0; q < w.cfg.P; q++ {
+		if q != w.p && w.evBits[q][d] != 1 {
+			return // not accepted before or after; nothing to adjust
+		}
+	}
+	qn := w.pos[w.cfg.Query.Node]
+	st := w.cfg.Query.State
+	accB := w.evidenceOKFor(old)
+	accA := w.evidenceOKFor(w.log[d])
+	if accB {
+		w.cntAcc--
+		if int(old[qn]) == st {
+			w.cntHits--
+		}
+	}
+	if accA {
+		w.cntAcc++
+		if int(w.log[d][qn]) == st {
+			w.cntHits++
+		}
+	}
 }
 
 // countUpTo tallies accepted samples and query hits over iterations
@@ -995,12 +1149,13 @@ func (w *worker) countUpTo(wm int64) (hits, accepted int64) {
 
 // preciseEnough evaluates the paper's stopping rule (90% CI half-width
 // at or below the precision target) on the information available now.
+// It uses the incremental counters, so each check costs only the
+// iterations finalized since the last one.
 func (w *worker) preciseEnough() bool {
-	wm := w.finalWatermark()
-	hits, acc := w.countUpTo(wm)
-	if acc < 2 {
+	w.advanceCount(w.finalWatermark())
+	if w.cntAcc < 2 {
 		return false
 	}
-	p := float64(hits) / float64(acc)
-	return metrics.ProportionCI90HalfWidth(p, int(acc)) <= w.cfg.Precision
+	p := float64(w.cntHits) / float64(w.cntAcc)
+	return metrics.ProportionCI90HalfWidth(p, int(w.cntAcc)) <= w.cfg.Precision
 }

@@ -35,13 +35,15 @@ type LWResult struct {
 func InferSerialLW(bn *Network, q Query, prec float64, seed int64, calib Calibration, maxIters int64) LWResult {
 	rng := rand.New(rand.NewSource(seed))
 	jit := calib.NewJitterer(rng)
+	l := newLUT(bn, q)
 	values := make([]int, bn.N())
 	var res LWResult
 	var wSum, w2Sum, hitSum float64
+	iterCost := calib.IterCost(bn.N()).Seconds()
 	for res.Iters < maxIters {
-		w := bn.sampleWeighted(values, q.Evidence, rng)
+		w := l.sampleWeighted(values, rng)
 		res.Iters++
-		res.Time += sim.DurationOf(calib.IterCost(bn.N()).Seconds() * jit.Next())
+		res.Time += sim.DurationOf(iterCost * jit.Next())
 		wSum += w
 		w2Sum += w * w
 		if values[q.Node] == q.State {

@@ -70,19 +70,59 @@ func (s *Snapshot) AddSweep(name string, cells int, wallSecs float64) {
 	s.Sweeps = append(s.Sweeps, st)
 }
 
-// RunMicro executes fn under the testing benchmark harness and records
-// its ns/op, allocs/op and bytes/op. The benchmark functions must call
+// DefaultMicroReps is how many independent samples RunMicro takes of
+// each microbenchmark. The recorded figure is the minimum across
+// samples: on a noisy shared box the minimum is the best estimate of
+// the code's intrinsic cost (interference only ever adds time), so
+// min-of-N makes successive snapshots comparable where a single sample
+// would jitter.
+const DefaultMicroReps = 3
+
+// RunMicro executes fn DefaultMicroReps times under the testing
+// benchmark harness and records the per-column minimum of ns/op,
+// allocs/op and bytes/op. The benchmark functions must call
 // b.ReportAllocs (or the harness must be invoked with -benchmem; here
 // allocation stats are always collected via ReportAllocs in the
 // callees).
 func (s *Snapshot) RunMicro(name string, fn func(b *testing.B)) {
-	r := testing.Benchmark(fn)
-	s.Micro = append(s.Micro, Micro{
+	s.RunMicroReps(name, fn, DefaultMicroReps)
+}
+
+// RunMicroReps is RunMicro with an explicit sample count (reps < 1 is
+// treated as 1).
+func (s *Snapshot) RunMicroReps(name string, fn func(b *testing.B), reps int) {
+	if reps < 1 {
+		reps = 1
+	}
+	rs := make([]testing.BenchmarkResult, reps)
+	for i := range rs {
+		rs[i] = testing.Benchmark(fn)
+	}
+	s.Micro = append(s.Micro, minMicro(name, rs))
+}
+
+// minMicro reduces repeated benchmark samples to one Micro by taking
+// each column's minimum independently — the least-interfered estimate
+// of every figure, even if no single sample achieved all three at once.
+func minMicro(name string, rs []testing.BenchmarkResult) Micro {
+	m := Micro{
 		Name:     name,
-		NsPerOp:  float64(r.NsPerOp()),
-		AllocsOp: float64(r.AllocsPerOp()),
-		BytesOp:  float64(r.AllocedBytesPerOp()),
-	})
+		NsPerOp:  float64(rs[0].NsPerOp()),
+		AllocsOp: float64(rs[0].AllocsPerOp()),
+		BytesOp:  float64(rs[0].AllocedBytesPerOp()),
+	}
+	for _, r := range rs[1:] {
+		if v := float64(r.NsPerOp()); v < m.NsPerOp {
+			m.NsPerOp = v
+		}
+		if v := float64(r.AllocsPerOp()); v < m.AllocsOp {
+			m.AllocsOp = v
+		}
+		if v := float64(r.AllocedBytesPerOp()); v < m.BytesOp {
+			m.BytesOp = v
+		}
+	}
+	return m
 }
 
 // WriteFile writes the snapshot as indented JSON (a no-op when path is

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -57,6 +58,38 @@ func TestRunMicroCollectsAllocs(t *testing.T) {
 	m := s.Micro[0]
 	if m.AllocsOp < 1 || m.BytesOp < 64 {
 		t.Fatalf("alloc stats not collected: %+v", m)
+	}
+}
+
+func TestMinMicroTakesColumnwiseMinimum(t *testing.T) {
+	// Three fabricated samples where no single one holds every minimum:
+	// the reduction must pick each column's best independently.
+	rs := []testing.BenchmarkResult{
+		{N: 100, T: 100 * 500 * time.Nanosecond, MemAllocs: 100 * 7, MemBytes: 100 * 640},
+		{N: 100, T: 100 * 300 * time.Nanosecond, MemAllocs: 100 * 9, MemBytes: 100 * 512},
+		{N: 100, T: 100 * 400 * time.Nanosecond, MemAllocs: 100 * 5, MemBytes: 100 * 700},
+	}
+	m := minMicro("x", rs)
+	if m.Name != "x" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if m.NsPerOp != 300 || m.AllocsOp != 5 || m.BytesOp != 512 {
+		t.Fatalf("minMicro = %+v, want ns=300 allocs=5 bytes=512", m)
+	}
+}
+
+func TestRunMicroRepsRecordsOneEntry(t *testing.T) {
+	s := NewSnapshot("t", 1)
+	s.RunMicroReps("noop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+		}
+	}, 2)
+	if len(s.Micro) != 1 || s.Micro[0].Name != "noop" {
+		t.Fatalf("micro entries = %+v", s.Micro)
+	}
+	if s.Micro[0].AllocsOp != 0 {
+		t.Fatalf("noop benchmark reported allocs: %+v", s.Micro[0])
 	}
 }
 

@@ -48,7 +48,9 @@ func microPingPong(b *testing.B) {
 	b.ReportAllocs()
 	eng := sim.NewEngine(1)
 	net := netsim.New(eng, netsim.DefaultConfig())
-	m := pvm.NewMachine(eng, net, pvm.DefaultConfig())
+	pvmCfg := pvm.DefaultConfig()
+	pvmCfg.Pooling = true
+	m := pvm.NewMachine(eng, net, pvmCfg)
 	m.Spawn("ping", func(t *pvm.Task) {
 		for i := 0; i < b.N; i++ {
 			t.Send(1, 1, 64, nil)

@@ -89,6 +89,30 @@ type updateMsg struct {
 	Iter  int64
 	Value interface{}
 	WAt   sim.Time
+
+	// owner/refs implement pooling (active only when the task's pvm
+	// machine runs with Config.Pooling): owner is the writing node
+	// whose free list the message returns to, refs the number of
+	// readers that have not yet applied it. apply() copies every field
+	// out into the node's buffer, so a reader is done with the message
+	// the moment apply returns and releases its share right there.
+	owner *Node
+	refs  int
+}
+
+// release returns one reader's share of a pooled update message,
+// recycling it onto the owning writer's free list when the last
+// reader is done. Unpooled messages (owner nil) pass through.
+func (u *updateMsg) release() {
+	if u.owner == nil || u.refs <= 0 {
+		return
+	}
+	u.refs--
+	if u.refs == 0 {
+		o := u.owner
+		*u = updateMsg{}
+		o.updFree = append(o.updFree, u)
+	}
 }
 
 // reqMsg is the request-based Global_Read's "please send me a fresh
@@ -226,6 +250,14 @@ type Node struct {
 	stats    Stats
 	stale    metrics.Histogram // observed Global_Read staleness, log-bucketed
 
+	// pooling mirrors the pvm machine's Config.Pooling; wireDone is the
+	// preallocated in-flight-decrement callback (one closure per node
+	// instead of one per write); updFree is the node's updateMsg free
+	// list, refilled by readers through updateMsg.release.
+	pooling  bool
+	wireDone func()
+	updFree  []*updateMsg
+
 	// Windowed series resolved once from Options.Series (nil when off).
 	serStale    *tseries.Series
 	serTimeouts *tseries.Series
@@ -235,7 +267,7 @@ type Node struct {
 // NewNode attaches a DSM node to a PVM task. Every location the task
 // writes or reads must be registered via Register before use.
 func NewNode(task *pvm.Task, opts Options) *Node {
-	return &Node{
+	n := &Node{
 		task: task,
 		locs: make(map[int]*Location),
 		buf:  make(map[int]Update),
@@ -245,6 +277,28 @@ func NewNode(task *pvm.Task, opts Options) *Node {
 		serTimeouts: opts.Series.Counter("core.read_timeouts"),
 		serBlocked:  opts.Series.Counter("core.blocked_us"),
 	}
+	n.pooling = task != nil && task.Pooling()
+	n.wireDone = func() { n.inFlight-- }
+	return n
+}
+
+// newUpdateMsg takes an update message from the node's free list (or
+// allocates one) and, when pooling, stamps it for recycling by its
+// nreaders receivers.
+func (n *Node) newUpdateMsg(nreaders int) *updateMsg {
+	if !n.pooling {
+		return &updateMsg{}
+	}
+	var u *updateMsg
+	if ln := len(n.updFree); ln > 0 {
+		u = n.updFree[ln-1]
+		n.updFree[ln-1] = nil
+		n.updFree = n.updFree[:ln-1]
+	} else {
+		u = &updateMsg{}
+	}
+	u.owner, u.refs = n, nreaders
+	return u
 }
 
 // now returns the task's virtual time, 0 for a detached node (as in
@@ -327,11 +381,10 @@ func (n *Node) sendUpdate(loc *Location, iter int64, value interface{}, wAt sim.
 	if len(loc.Readers) == 0 {
 		return
 	}
-	msg := &updateMsg{Loc: loc.ID, Iter: iter, Value: value, WAt: wAt}
+	msg := n.newUpdateMsg(len(loc.Readers))
+	msg.Loc, msg.Iter, msg.Value, msg.WAt = loc.ID, iter, value, wAt
 	n.inFlight++
-	n.task.Multicast(loc.Readers, UpdateTag, size, msg, func() {
-		n.inFlight--
-	})
+	n.task.Multicast(loc.Readers, UpdateTag, size, msg, n.wireDone)
 	n.stats.UpdatesSent++
 }
 
@@ -358,7 +411,9 @@ func (n *Node) drain() {
 		if m == nil {
 			break
 		}
-		n.apply(m.Data.(*updateMsg))
+		u := m.Data.(*updateMsg)
+		n.apply(u)
+		u.release()
 	}
 	n.serveRequests()
 }
@@ -395,7 +450,8 @@ func (n *Node) serveRequests() {
 			continue
 		}
 		if cur, ok := n.buf[req.Loc]; ok {
-			msg := &updateMsg{Loc: loc.ID, Iter: cur.Iter, Value: cur.Value, WAt: cur.WrittenAt}
+			msg := n.newUpdateMsg(1)
+			msg.Loc, msg.Iter, msg.Value, msg.WAt = loc.ID, cur.Iter, cur.Value, cur.WrittenAt
 			n.task.Send(m.Src, UpdateTag, loc.Size, msg)
 			n.stats.UpdatesSent++
 		}
@@ -473,7 +529,9 @@ func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update {
 		} else {
 			m = n.task.Recv(pvm.Any, UpdateTag)
 		}
-		n.apply(m.Data.(*updateMsg))
+		um := m.Data.(*updateMsg)
+		n.apply(um)
+		um.release()
 		if u, ok := n.buf[loc.ID]; ok && u.Iter >= minIter {
 			end := n.task.Now()
 			n.stats.BlockedTime += end.Sub(start)

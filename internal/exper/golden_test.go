@@ -1,0 +1,217 @@
+package exper
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"nscc/internal/ga/functions"
+)
+
+// Golden sweep fingerprints.
+//
+// Each constant is the SHA-256 of one sweep's serialized output —
+// the plotting CSV where one exists plus a full-precision dump of
+// every result field — captured from the seed state of the repo
+// (the commit immediately before the hot-path optimization PR).
+// The determinism contract of that PR is that no optimization may
+// change a single result byte: any change to the RNG draw sequence,
+// float accumulation order, selection logic, or message timing
+// shows up here as a fingerprint mismatch.
+//
+// The fixtures run at reduced scale (fewer functions/trials than the
+// benchmark profile) but exercise every code path the full sweeps do:
+// serial baselines, sync/async/Global_Read islands at every age,
+// migration, roulette selection, mutation, bayes rollbacks, and the
+// network model. Every sweep is fingerprinted at workers=1 and
+// workers=8 and must hash identically at both.
+//
+// If a fingerprint legitimately must change (an intentional
+// result-affecting change, never a perf-only one), regenerate with:
+//
+//	go test ./internal/exper -run TestGoldenSweepFingerprints -v -update-goldens
+const (
+	goldenFigure2 = "168f2a205d1dab27677eecfda5084b5e979006cba8d7a7cfbd5b4f296f31fa42"
+	goldenFigure3 = "3735da61b58bd3ff72264596a735f6657e72a43db8a46194314e14cd9f7463f6"
+	goldenFigure4 = "8071eb9f0b91b5deffa709ce961437031617a50bd73e48c98de070078d2634d7"
+	goldenTable2  = "eed4d4191e467e8b40e81748373f36b1eeb6dd1aac0749385cb304c43b0dbb1b"
+	goldenAge     = "675816817a372c1fd9d0ada215d7c226269bb50b8e0cdcd8e697c717acf9d499"
+)
+
+// -update-goldens prints the computed hashes instead of asserting,
+// for regenerating the constants above after an intentional
+// result-affecting change.
+var updateGoldens = flag.Bool("update-goldens", false,
+	"print computed sweep fingerprints instead of asserting them")
+
+// goldenOpts is the shared reduced-scale profile of the fixtures. It
+// must never change (the hashes pin its outputs).
+func goldenOpts(workers int) Options {
+	opts := Quick()
+	opts.Workers = workers
+	opts.Trials = 1
+	opts.Procs = []int{2, 4}
+	return opts
+}
+
+// fpFloat renders f with full round-trip precision: two runs whose
+// floats differ by one ULP serialize differently.
+func fpFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// dumpGARows serializes GA rows with every field at full precision.
+func dumpGARows(buf *bytes.Buffer, rows []GARow) {
+	for _, r := range rows {
+		name := "avg"
+		if r.Fn != nil {
+			name = fmt.Sprintf("F%d", r.Fn.No)
+		}
+		fmt.Fprintf(buf, "%s p=%d load=%s", name, r.P, fpFloat(r.LoadBps))
+		for _, v := range Variants() {
+			fmt.Fprintf(buf, " %s=%s/f%d/m%d/w%s",
+				v, fpFloat(r.Speedup[v]), r.OptFound[v], r.TargetMiss[v], fpFloat(r.Warp[v]))
+		}
+		fmt.Fprintf(buf, " bestgr=%s bestcomp=%s improve=%s\n",
+			fpFloat(r.BestGR), fpFloat(r.BestComp), fpFloat(r.Improve))
+	}
+}
+
+func fingerprintFigure2(t *testing.T, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := Figure2(&buf, goldenOpts(workers), []*functions.Function{functions.F1, functions.F5})
+	if err != nil {
+		t.Fatalf("Figure2(workers=%d): %v", workers, err)
+	}
+	rows := append(append([]GARow{}, res.PerFunc...), res.Average...)
+	if err := WriteGARowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	dumpGARows(&buf, rows)
+	dumpGARows(&buf, res.BestCase)
+	return hashOf(buf.Bytes())
+}
+
+func fingerprintFigure3(t *testing.T, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := Figure3(&buf, goldenOpts(workers))
+	if err != nil {
+		t.Fatalf("Figure3(workers=%d): %v", workers, err)
+	}
+	if err := WriteBayesRowsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := append(append([]BayesRow{}, res.Rows...), res.Average)
+	for _, r := range rows {
+		name := "avg"
+		if r.Net != nil {
+			name = r.Net.Name
+		}
+		fmt.Fprintf(&buf, "%s", name)
+		for _, v := range bayesVariants() {
+			fmt.Fprintf(&buf, " %s=%s/r%s/i%s",
+				v, fpFloat(r.Speedup[v]), fpFloat(r.Rollbacks[v]), fpFloat(r.Iters[v]))
+		}
+		fmt.Fprintf(&buf, " bestgr=%s bestcomp=%s improve=%s\n",
+			fpFloat(r.BestGR), fpFloat(r.BestComp), fpFloat(r.Improve))
+	}
+	return hashOf(buf.Bytes())
+}
+
+func fingerprintFigure4(t *testing.T, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := Figure4(&buf, goldenOpts(workers), []*functions.Function{functions.F1, functions.F5})
+	if err != nil {
+		t.Fatalf("Figure4(workers=%d): %v", workers, err)
+	}
+	rows := append(append([]GARow{}, res.BestCase...), res.Average...)
+	if err := WriteGARowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	dumpGARows(&buf, rows)
+	return hashOf(buf.Bytes())
+}
+
+func fingerprintTable2(t *testing.T, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rows, err := Table2(&buf, goldenOpts(workers))
+	if err != nil {
+		t.Fatalf("Table2(workers=%d): %v", workers, err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&buf, "%s nodes=%d edges=%s values=%d cut=%d pipe=%d serial=%d ref=%s\n",
+			r.Net.Name, r.Nodes, fpFloat(r.EdgesPer), r.Values,
+			r.EdgeCut, r.PipeCut, int64(r.Serial), fpFloat(r.SerialRef))
+	}
+	return hashOf(buf.Bytes())
+}
+
+func fingerprintAgeSweep(t *testing.T, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := AgeSweep(&buf, goldenOpts(workers), functions.F1, 4, []float64{0, 2e6})
+	if err != nil {
+		t.Fatalf("AgeSweep(workers=%d): %v", workers, err)
+	}
+	dump := func(tag string, rows []AgeSweepRow) {
+		for _, r := range rows {
+			fmt.Fprintf(&buf, "%s age=%d load=%s speedup=%s blocked=%d warp=%s tol=%d unb=%d\n",
+				tag, r.Age, fpFloat(r.LoadBps), fpFloat(r.Speedup),
+				int64(r.Blocked), fpFloat(r.Warp), r.Tolerated, r.Unbounded)
+		}
+	}
+	dump("fixed", res.Rows)
+	dump("dyn", res.Dynamic)
+	return hashOf(buf.Bytes())
+}
+
+func hashOf(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenSweepFingerprints asserts that all five sweeps reproduce
+// the committed seed-state output byte-for-byte, at workers=1 and
+// workers=8. This is the PR-level determinism gate: a hot-path
+// optimization that changes any result byte fails here.
+func TestGoldenSweepFingerprints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweeps are long; skipped with -short")
+	}
+	sweeps := []struct {
+		name  string
+		want  string
+		runFn func(*testing.T, int) string
+	}{
+		{"Figure2", goldenFigure2, fingerprintFigure2},
+		{"Figure3", goldenFigure3, fingerprintFigure3},
+		{"Figure4", goldenFigure4, fingerprintFigure4},
+		{"Table2", goldenTable2, fingerprintTable2},
+		{"AgeSweep", goldenAge, fingerprintAgeSweep},
+	}
+	for _, sw := range sweeps {
+		sw := sw
+		t.Run(sw.name, func(t *testing.T) {
+			h1 := sw.runFn(t, 1)
+			h8 := sw.runFn(t, 8)
+			if h1 != h8 {
+				t.Fatalf("%s: workers=1 hash %s != workers=8 hash %s", sw.name, h1, h8)
+			}
+			if *updateGoldens {
+				t.Logf("golden%s = %q", sw.name, h1)
+				return
+			}
+			if h1 != sw.want {
+				t.Errorf("%s fingerprint drifted from the seed state:\n  got  %s\n  want %s\n"+
+					"(a perf-only change must not get here; if the result change is intentional, "+
+					"rerun with -update-goldens and update the constants)", sw.name, h1, sw.want)
+			}
+		})
+	}
+}

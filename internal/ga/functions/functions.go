@@ -66,22 +66,36 @@ func (f *Function) DecodeGray(bits []byte) []float64 {
 }
 
 func (f *Function) decode(bits []byte, gray bool) []float64 {
+	x := make([]float64, f.Vars)
+	f.DecodeInto(x, bits, gray)
+	return x
+}
+
+// DecodeInto is the allocation-free core of Decode/DecodeGray: it
+// writes the decoded variables into dst, which must have length
+// f.Vars. The arithmetic is identical to Decode, so the two produce
+// bit-equal values.
+func (f *Function) DecodeInto(dst []float64, bits []byte, gray bool) {
 	if len(bits) != f.TotalBits() {
 		panic(fmt.Sprintf("functions: F%d wants %d bits, got %d", f.No, f.TotalBits(), len(bits)))
 	}
-	x := make([]float64, f.Vars)
+	if len(dst) != f.Vars {
+		panic(fmt.Sprintf("functions: F%d wants %d vars of scratch, got %d", f.No, f.Vars, len(dst)))
+	}
 	maxv := float64(uint64(1)<<uint(f.BitsPerVar) - 1)
+	bpv := f.BitsPerVar
 	for i := 0; i < f.Vars; i++ {
+		// Ranging over the variable's own bit segment lets the compiler
+		// drop the per-bit bounds check and index arithmetic.
 		var v uint64
-		for b := 0; b < f.BitsPerVar; b++ {
-			v = v<<1 | uint64(bits[i*f.BitsPerVar+b])
+		for _, bit := range bits[i*bpv : (i+1)*bpv] {
+			v = v<<1 | uint64(bit)
 		}
 		if gray {
 			v = GrayToBinary(v)
 		}
-		x[i] = f.Lo + float64(v)*(f.Hi-f.Lo)/maxv
+		dst[i] = f.Lo + float64(v)*(f.Hi-f.Lo)/maxv
 	}
-	return x
 }
 
 // GrayToBinary converts a reflected Gray code to its binary value.
@@ -103,6 +117,14 @@ func (f *Function) EvalBits(bits []byte, rng *rand.Rand) float64 {
 // EvalBitsGray decodes (Gray) and evaluates in one step.
 func (f *Function) EvalBitsGray(bits []byte, rng *rand.Rand) float64 {
 	return f.Eval(f.DecodeGray(bits), rng)
+}
+
+// EvalBitsInto is EvalBits/EvalBitsGray with caller-owned decode
+// scratch (length f.Vars), so a tight evaluation loop allocates
+// nothing. Results are bit-identical to the allocating forms.
+func (f *Function) EvalBitsInto(scratch []float64, bits []byte, gray bool, rng *rand.Rand) float64 {
+	f.DecodeInto(scratch, bits, gray)
+	return f.eval(scratch, rng)
 }
 
 // All returns the Table 1 test bed, F1..F8 in order.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"nscc/internal/ga/functions"
@@ -49,18 +50,47 @@ func (ind Individual) Clone() Individual {
 
 // Deme is one subpopulation evolving under a Params setting. All
 // randomness comes from the supplied rng, so demes are deterministic.
+//
+// The deme is double-buffered: pop and next each own a full
+// population backed by one contiguous bit arena, and NextGeneration
+// builds the new generation in next and swaps the buffers, so the
+// steady-state generation loop allocates nothing.
 type Deme struct {
 	Fn  *functions.Function
 	Par Params
 	rng *rand.Rand
 
-	pop     []Individual
-	gen     int64
-	worstW  []float64 // worst raw objective of the last W generations
+	pop  []Individual
+	next []Individual // write buffer for NextGeneration
+	gen  int64
+
+	// worstW is a ring of the worst raw objective of the last W
+	// generations (preallocated; worstN entries are live, worstI is the
+	// next write slot).
+	worstW []float64
+	worstN int
+	worstI int
+
 	best    Individual
 	bestSet bool
+	scratch Individual // discarded second child of an odd last pair
+
+	ws   []float64 // selection-weight prefix sums, reused per generation
+	idx  []int     // index-sort scratch, reused per call
+	xbuf []float64 // objective decode scratch, reused per evaluation
 
 	evals int64 // total objective evaluations computed (cache misses)
+}
+
+// newPopulation allocates n individuals of bits chromosome bits each,
+// backed by one contiguous arena.
+func newPopulation(n, bits int) []Individual {
+	arena := make([]byte, n*bits)
+	pop := make([]Individual, n)
+	for i := range pop {
+		pop[i].Bits = arena[i*bits : (i+1)*bits : (i+1)*bits]
+	}
+	return pop
 }
 
 // NewDeme creates a deme of Par.N random individuals.
@@ -69,15 +99,33 @@ func NewDeme(fn *functions.Function, par Params, rng *rand.Rand) *Deme {
 		panic("ga: population must have at least 2 individuals")
 	}
 	d := &Deme{Fn: fn, Par: par, rng: rng}
-	d.pop = make([]Individual, par.N)
+	bits := fn.TotalBits()
+	d.pop = newPopulation(par.N, bits)
+	d.next = newPopulation(par.N, bits)
 	for i := range d.pop {
-		bits := make([]byte, fn.TotalBits())
-		for b := range bits {
-			bits[b] = byte(rng.Intn(2))
+		for b := range d.pop[i].Bits {
+			d.pop[i].Bits[b] = byte(rng.Intn(2))
 		}
-		d.pop[i] = Individual{Bits: bits}
 	}
+	w := par.W
+	if w < 1 {
+		w = 1
+	}
+	d.worstW = make([]float64, w)
+	d.ws = make([]float64, par.N)
+	d.idx = make([]int, par.N)
+	d.xbuf = make([]float64, fn.Vars)
+	d.best.Bits = make([]byte, bits)
+	d.scratch.Bits = make([]byte, bits)
 	return d
+}
+
+// copyInto overwrites dst's chromosome and cached fitness with src's,
+// reusing dst's bit buffer (both must be full-length chromosomes).
+func copyInto(dst, src *Individual) {
+	copy(dst.Bits, src.Bits)
+	dst.Fit = src.Fit
+	dst.Valid = src.Valid
 }
 
 // Gen returns the number of completed generations.
@@ -99,11 +147,7 @@ func (d *Deme) EvaluateAll() int {
 	n := 0
 	for i := range d.pop {
 		if !d.pop[i].Valid {
-			if d.Par.Gray {
-				d.pop[i].Fit = d.Fn.EvalBitsGray(d.pop[i].Bits, d.rng)
-			} else {
-				d.pop[i].Fit = d.Fn.EvalBits(d.pop[i].Bits, d.rng)
-			}
+			d.pop[i].Fit = d.Fn.EvalBitsInto(d.xbuf, d.pop[i].Bits, d.Par.Gray, d.rng)
 			d.pop[i].Valid = true
 			n++
 		}
@@ -117,12 +161,15 @@ func (d *Deme) EvaluateAll() int {
 func (d *Deme) trackBest() {
 	for i := range d.pop {
 		if !d.bestSet || d.pop[i].Fit < d.best.Fit {
-			d.best = d.pop[i].Clone()
+			copyInto(&d.best, &d.pop[i])
 			d.bestSet = true
 		}
 	}
 }
 
+// pushWorst records the generation's worst raw objective in the
+// fixed-size scaling-window ring: W slots, overwritten in rotation, so
+// an arbitrarily long run holds steady memory.
 func (d *Deme) pushWorst() {
 	worst := d.pop[0].Fit
 	for i := range d.pop {
@@ -130,15 +177,15 @@ func (d *Deme) pushWorst() {
 			worst = d.pop[i].Fit
 		}
 	}
-	d.worstW = append(d.worstW, worst)
-	w := d.Par.W
-	if w < 1 {
-		w = 1
-	}
-	if len(d.worstW) > w {
-		d.worstW = d.worstW[len(d.worstW)-w:]
+	d.worstW[d.worstI] = worst
+	d.worstI = (d.worstI + 1) % len(d.worstW)
+	if d.worstN < len(d.worstW) {
+		d.worstN++
 	}
 }
+
+// worstWindowCap exposes the scaling-window ring's capacity to tests.
+func (d *Deme) worstWindowCap() int { return cap(d.worstW) }
 
 // Best returns a copy of the best individual found so far. EvaluateAll
 // must have run at least once.
@@ -179,53 +226,60 @@ func (d *Deme) AvgFit() float64 {
 	return s / float64(n)
 }
 
-// scaledFitness converts the minimization objective into selection
-// weights using DeJong's scaling-window rule: weight = baseline - f,
-// where baseline is the worst raw objective seen in the last W
-// generations.
-func (d *Deme) scaledFitness() []float64 {
+// scaledCum converts the minimization objective into selection-weight
+// prefix sums using DeJong's scaling-window rule: weight = baseline -
+// f, where baseline is the worst raw objective seen in the last W
+// generations. The returned slice (the deme's reused scratch) holds
+// running left-to-right sums, accumulated in the same order the old
+// per-weight total was, so the grand total is bit-identical.
+func (d *Deme) scaledCum() []float64 {
 	baseline := d.worstW[0]
-	for _, w := range d.worstW {
+	for _, w := range d.worstW[:d.worstN] {
 		if w > baseline {
 			baseline = w
 		}
 	}
-	ws := make([]float64, len(d.pop))
+	cum := d.ws[:len(d.pop)]
+	sum := 0.0
 	for i := range d.pop {
 		w := baseline - d.pop[i].Fit
 		if w < 0 {
 			w = 0
 		}
-		ws[i] = w
+		sum += w
+		cum[i] = sum
 	}
-	return ws
+	return cum
 }
 
-// rouletteIndex draws one population index proportionally to weights
-// (uniform if all weights are zero).
-func rouletteIndex(weights []float64, total float64, rng *rand.Rand) int {
+// rouletteIndex draws one population index proportionally to the
+// weights whose prefix sums are cum (uniform if all weights are zero).
+// It consumes exactly one RNG draw, like the linear subtractive scan it
+// replaced: the selected index is the first whose prefix sum reaches
+// the draw point, found by binary search.
+func rouletteIndex(cum []float64, total float64, rng *rand.Rand) int {
 	if total <= 0 {
-		return rng.Intn(len(weights))
+		return rng.Intn(len(cum))
 	}
 	r := rng.Float64() * total
-	for i, w := range weights {
-		r -= w
-		if r <= 0 {
-			return i
-		}
+	if i := sort.SearchFloat64s(cum, r); i < len(cum) {
+		return i
 	}
-	return len(weights) - 1
+	return len(cum) - 1
 }
 
 // NextGeneration applies roulette selection (on scaled fitness),
 // single-point crossover with probability C, per-bit mutation with
 // probability M, and elitism, replacing the population. G<1 keeps a
-// (1-G) fraction of the old population untouched.
+// (1-G) fraction of the old population untouched. The new generation
+// is built in the deme's second buffer and the buffers swap, so the
+// steady-state loop is allocation-free; the RNG draw sequence is
+// identical to the old clone-per-child implementation.
 func (d *Deme) NextGeneration() {
-	weights := d.scaledFitness()
+	cum := d.scaledCum()
 	total := 0.0
-	for _, w := range weights {
-		total += w
+	if len(cum) > 0 {
+		total = cum[len(cum)-1]
 	}
 
 	n := len(d.pop)
@@ -236,41 +290,59 @@ func (d *Deme) NextGeneration() {
 			replace = 2
 		}
 	}
-	next := make([]Individual, 0, n)
+	next := d.next
+	filled := 0
 	// Survivors (generation gap < 1): keep the best of the old
 	// population beyond the replaced fraction.
 	if replace < n {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool { return d.pop[idx[a]].Fit < d.pop[idx[b]].Fit })
+		idx := d.sortedByFitness()
 		for _, i := range idx[:n-replace] {
-			next = append(next, d.pop[i].Clone())
+			copyInto(&next[filled], &d.pop[i])
+			filled++
 		}
 	}
 
-	for len(next) < n {
-		p1 := d.pop[rouletteIndex(weights, total, d.rng)]
-		p2 := d.pop[rouletteIndex(weights, total, d.rng)]
-		c1, c2 := p1.Clone(), p2.Clone()
+	for filled < n {
+		c1 := &next[filled]
+		c2 := &d.scratch // discarded when the pair overflows the population
+		if filled+1 < n {
+			c2 = &next[filled+1]
+		}
+		copyInto(c1, &d.pop[rouletteIndex(cum, total, d.rng)])
+		copyInto(c2, &d.pop[rouletteIndex(cum, total, d.rng)])
 		if d.rng.Float64() < d.Par.C {
-			crossover(&c1, &c2, d.rng)
+			crossover(c1, c2, d.rng)
 		}
-		d.mutate(&c1)
-		d.mutate(&c2)
-		next = append(next, c1)
-		if len(next) < n {
-			next = append(next, c2)
-		}
+		d.mutate(c1)
+		d.mutate(c2)
+		filled += 2
 	}
 
 	if d.Par.Elitist && d.bestSet {
 		// The best-so-far individual replaces a random slot unchanged.
-		next[d.rng.Intn(n)] = d.best.Clone()
+		copyInto(&next[d.rng.Intn(n)], &d.best)
 	}
-	d.pop = next
+	d.pop, d.next = next, d.pop
 	d.gen++
+}
+
+// sortedByFitness fills the deme's index scratch with population
+// indices ordered fittest first.
+func (d *Deme) sortedByFitness() []int {
+	idx := d.idx[:len(d.pop)]
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case d.pop[a].Fit < d.pop[b].Fit:
+			return -1
+		case d.pop[a].Fit > d.pop[b].Fit:
+			return 1
+		}
+		return 0
+	})
+	return idx
 }
 
 // crossover applies single-point crossover in place, invalidating both
@@ -291,30 +363,34 @@ func crossover(a, b *Individual, rng *rand.Rand) {
 }
 
 // mutate flips each bit with probability M, invalidating the cache when
-// any bit flips.
+// any bit flips. The loop is the profile's hottest GA frame after the
+// RNG itself, so the per-iteration state lives in locals.
 func (d *Deme) mutate(ind *Individual) {
-	for i := range ind.Bits {
-		if d.rng.Float64() < d.Par.M {
-			ind.Bits[i] ^= 1
-			ind.Valid = false
+	bits, m, rng := ind.Bits, d.Par.M, d.rng
+	valid := ind.Valid
+	for i := range bits {
+		if rng.Float64() < m {
+			bits[i] ^= 1
+			valid = false
 		}
 	}
+	ind.Valid = valid
 }
 
 // BestK returns copies of the k fittest current individuals, fittest
-// first. Individuals must be evaluated (call after EvaluateAll).
+// first. Individuals must be evaluated (call after EvaluateAll). The
+// copies are freshly allocated in one contiguous backing arena (two
+// allocations total) because callers hand them to the message layer,
+// where receivers retain them indefinitely.
 func (d *Deme) BestK(k int) []Individual {
 	if k > len(d.pop) {
 		k = len(d.pop)
 	}
-	idx := make([]int, len(d.pop))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return d.pop[idx[a]].Fit < d.pop[idx[b]].Fit })
-	out := make([]Individual, 0, k)
-	for _, i := range idx[:k] {
-		out = append(out, d.pop[i].Clone())
+	idx := d.sortedByFitness()
+	bits := d.Fn.TotalBits()
+	out := newPopulation(k, bits)
+	for j, i := range idx[:k] {
+		copyInto(&out[j], &d.pop[i])
 	}
 	return out
 }
@@ -330,30 +406,78 @@ func (d *Deme) ReplaceWorst(migrants []Individual) {
 	if len(migrants) > len(d.pop) {
 		migrants = migrants[:len(d.pop)]
 	}
-	idx := make([]int, len(d.pop))
+	// Worst first.
+	idx := d.idx[:len(d.pop)]
 	for i := range idx {
 		idx[i] = i
 	}
-	// Worst first.
-	sort.Slice(idx, func(a, b int) bool { return d.pop[idx[a]].Fit > d.pop[idx[b]].Fit })
-	for i, m := range migrants {
-		mc := m.Clone()
-		if len(mc.Bits) != d.Fn.TotalBits() {
-			panic(fmt.Sprintf("ga: migrant has %d bits, deme wants %d", len(mc.Bits), d.Fn.TotalBits()))
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case d.pop[a].Fit > d.pop[b].Fit:
+			return -1
+		case d.pop[a].Fit < d.pop[b].Fit:
+			return 1
 		}
-		d.pop[idx[i]] = mc
+		return 0
+	})
+	for i := range migrants {
+		m := &migrants[i]
+		if len(m.Bits) != d.Fn.TotalBits() {
+			panic(fmt.Sprintf("ga: migrant has %d bits, deme wants %d", len(m.Bits), d.Fn.TotalBits()))
+		}
+		copyInto(&d.pop[idx[i]], m)
 	}
 	d.trackBest()
 }
 
 // bestOfPool returns the k fittest individuals from a migrant pool,
-// fittest first (used when more migrants arrive than slots exist).
+// fittest first (used when more migrants arrive than slots exist). The
+// returned individuals share the pool's bit buffers: callers only read
+// them (ReplaceWorst copies bits into its own population).
 func bestOfPool(pool []Individual, k int) []Individual {
-	c := make([]Individual, len(pool))
-	copy(c, pool)
-	sort.Slice(c, func(a, b int) bool { return c[a].Fit < c[b].Fit })
-	if k > len(c) {
-		k = len(c)
+	var ps poolSorter
+	return ps.bestK(pool, k)
+}
+
+// poolSorter holds the reusable scratch of repeated top-k selections
+// over migrant pools: the index permutation the sort actually moves,
+// and the gathered top-k headers handed to ReplaceWorst. Sorting
+// indices instead of Individual headers keeps the comparator from
+// copying a 40-byte struct per comparison — the migration path's
+// hottest frame in the profile. The selected order is identical: the
+// sort's decisions depend only on the comparator's verdicts, which are
+// the same Fit comparisons either way.
+type poolSorter struct {
+	idx []int
+	top []Individual
+}
+
+// bestK returns the k fittest individuals of pool, fittest first. The
+// returned slice is the sorter's scratch, valid until the next call;
+// pool itself is never reordered.
+func (ps *poolSorter) bestK(pool []Individual, k int) []Individual {
+	idx := ps.idx[:0]
+	for i := range pool {
+		idx = append(idx, i)
 	}
-	return c[:k]
+	ps.idx = idx
+	slices.SortFunc(idx, func(a, b int) int {
+		af, bf := pool[a].Fit, pool[b].Fit
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	})
+	if k > len(pool) {
+		k = len(pool)
+	}
+	top := ps.top[:0]
+	for _, i := range idx[:k] {
+		top = append(top, pool[i])
+	}
+	ps.top = top
+	return top
 }

@@ -313,10 +313,12 @@ func TestGenerationInvariants(t *testing.T) {
 		d := NewDeme(fn, par, rand.New(rand.NewSource(seed)))
 		d.EvaluateAll()
 		for g := 0; g < 5; g++ {
-			for _, w := range d.scaledFitness() {
-				if w < 0 {
+			prev := 0.0
+			for _, c := range d.scaledCum() {
+				if c < prev { // prefix sums of non-negative weights
 					return false
 				}
+				prev = c
 			}
 			d.NextGeneration()
 			d.EvaluateAll()
@@ -338,6 +340,39 @@ func TestGenerationInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWorstWindowSteadyMemory is the regression test for the
+// unbounded worst-of-generation history: the scaling window is a
+// preallocated W-slot ring, so a 10k-generation run must hold steady
+// memory — the ring never grows and the steady-state generation loop
+// allocates nothing.
+func TestWorstWindowSteadyMemory(t *testing.T) {
+	d := testDeme(t, functions.F1, 13)
+	d.EvaluateAll()
+	capBefore := d.worstWindowCap()
+	for g := 0; g < 10_000; g++ {
+		d.NextGeneration()
+		d.EvaluateAll()
+	}
+	if got := d.worstWindowCap(); got != capBefore {
+		t.Fatalf("worst-window ring grew: cap %d -> %d over 10k generations", capBefore, got)
+	}
+	w := d.Par.W
+	if w < 1 {
+		w = 1
+	}
+	if got := d.worstWindowCap(); got != w {
+		t.Fatalf("worst-window ring cap %d, want the configured window %d", got, w)
+	}
+	// The generation loop itself must be allocation-free once warm.
+	allocs := testing.AllocsPerRun(50, func() {
+		d.NextGeneration()
+		d.EvaluateAll()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state generation loop allocates %.1f objects/gen, want 0", allocs)
 	}
 }
 

@@ -215,6 +215,9 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	if cfg.Reliable {
 		pvmCfg.Reliable = true
 	}
+	// Message pooling is safe only without fault injection: duplication
+	// re-delivers the same payload pointer, which would double-release.
+	pvmCfg.Pooling = cfg.Faults == nil
 	machine := pvm.NewMachine(eng, net, pvmCfg)
 	machine.SetSeries(cfg.Series)
 	warp := metrics.NewWarpMeter()
@@ -301,6 +304,10 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 			jit := NewJitterer(cfg.Calib, task.Proc().Rng())
 			age := cfg.Age
 			var lastBlocked int64
+			// Migration scratch, reused every round: the incoming pool
+			// and the sort buffers of its top-k selection.
+			pool := make([]Individual, 0, k*len(sources[i])+k)
+			var poolSort poolSorter
 
 			finish := func() {
 				res.Gens[i] = deme.Gen()
@@ -356,7 +363,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 				// blocks of my topological sources.
 				if gen%interval == 0 {
 					node.Write(locs[i], gen, deme.BestK(k))
-					var pool []Individual
+					pool = pool[:0]
 					for _, j := range sources[i] {
 						switch cfg.Mode {
 						case core.Sync:
@@ -380,7 +387,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 							}
 						}
 					}
-					deme.ReplaceWorst(bestOfPool(pool, k))
+					deme.ReplaceWorst(poolSort.bestK(pool, k))
 				}
 
 				if cfg.DynamicAge && cfg.Mode == core.NonStrict {

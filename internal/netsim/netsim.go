@@ -112,6 +112,76 @@ type Network struct {
 	serBusy  *tseries.Series
 	serDrops *tseries.Series
 	serQueue *tseries.Series
+
+	// frames is the free list of pooled delivery callbacks. Every
+	// transmission schedules exactly one delivery, so in steady state
+	// the pool holds about as many frames as the peak number in flight
+	// and the per-send path allocates nothing.
+	frames []*frame
+}
+
+// frame is a pooled in-flight transmission: the delivery callback the
+// bus schedules for a frame's arrival. Pooling it (together with the
+// engine's ScheduleRunner) removes the per-send closure allocation from
+// the network hot path. A multicast frame copies its destination list
+// into the frame's own reusable buffer, so callers may recycle theirs
+// as soon as Multicast returns.
+type frame struct {
+	n       *Network
+	src     int
+	dst     int // unicast destination; -1 for multicast
+	size    int
+	payload interface{}
+	sentAt  sim.Time
+	lost    bool   // unicast loss verdict
+	dsts    []int  // multicast destinations (reusable buffer)
+	losts   []bool // per-destination loss verdicts; empty = none lost
+}
+
+// getFrame takes a frame from the pool (or allocates one) and stamps
+// the fields common to both transmission paths.
+func (n *Network) getFrame(src, size int, payload interface{}) *frame {
+	var f *frame
+	if ln := len(n.frames); ln > 0 {
+		f = n.frames[ln-1]
+		n.frames[ln-1] = nil
+		n.frames = n.frames[:ln-1]
+	} else {
+		f = &frame{n: n}
+	}
+	f.src, f.size, f.payload, f.sentAt = src, size, payload, n.eng.Now()
+	return f
+}
+
+// Run delivers the frame: it is the event callback for the frame's
+// arrival time. After the handlers return, the frame drops its payload
+// reference and goes back to the pool.
+func (f *frame) Run() {
+	n := f.n
+	n.queued--
+	if f.dst >= 0 {
+		if f.lost {
+			n.stats.Dropped++
+			n.serDrops.Add(n.eng.Now(), 1)
+			n.traceDrop(f.src, f.dst, f.size)
+		} else {
+			n.stats.Delivered++
+			n.handlers[f.dst](f.src, f.payload, f.sentAt)
+		}
+	} else {
+		for i, dst := range f.dsts {
+			if len(f.losts) > 0 && f.losts[i] {
+				n.stats.Dropped++
+				n.serDrops.Add(n.eng.Now(), 1)
+				n.traceDrop(f.src, dst, f.size)
+				continue
+			}
+			n.stats.Delivered++
+			n.handlers[dst](f.src, f.payload, f.sentAt)
+		}
+	}
+	f.payload = nil
+	n.frames = append(n.frames, f)
 }
 
 // SetSeries wires the bus's windowed simulated-time series into set:
@@ -265,20 +335,11 @@ func (n *Network) Unicast(src, dst, size int, payload interface{}, onWire func()
 	if dst < 0 || dst >= len(n.handlers) {
 		panic(fmt.Sprintf("netsim: send to unknown node %d", dst))
 	}
-	now := n.eng.Now()
+	f := n.getFrame(src, size, payload)
+	f.dst = dst
 	deliverAt := n.admitFrame(src, size, onWire)
-	lost := n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb
-	n.eng.Schedule(deliverAt, func() {
-		n.queued--
-		if lost {
-			n.stats.Dropped++
-			n.serDrops.Add(n.eng.Now(), 1)
-			n.traceDrop(src, dst, size)
-			return
-		}
-		n.stats.Delivered++
-		n.handlers[dst](src, payload, now)
-	})
+	f.lost = n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb
+	n.eng.ScheduleRunner(deliverAt, f)
 }
 
 // Multicast transmits one frame that every node in dsts receives — the
@@ -297,28 +358,17 @@ func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, 
 			panic(fmt.Sprintf("netsim: send to unknown node %d", dst))
 		}
 	}
-	now := n.eng.Now()
+	f := n.getFrame(src, size, payload)
+	f.dst = -1
+	f.dsts = append(f.dsts[:0], dsts...)
 	deliverAt := n.admitFrame(src, size, onWire)
-	var lost []bool // allocated only when loss injection is on
+	f.losts = f.losts[:0]
 	if n.cfg.LossProb > 0 {
-		lost = make([]bool, len(dsts))
-		for i := range dsts {
-			lost[i] = n.rng.Float64() < n.cfg.LossProb
+		for range dsts {
+			f.losts = append(f.losts, n.rng.Float64() < n.cfg.LossProb)
 		}
 	}
-	n.eng.Schedule(deliverAt, func() {
-		n.queued--
-		for i, dst := range dsts {
-			if lost != nil && lost[i] {
-				n.stats.Dropped++
-				n.serDrops.Add(n.eng.Now(), 1)
-				n.traceDrop(src, dst, size)
-				continue
-			}
-			n.stats.Delivered++
-			n.handlers[dst](src, payload, now)
-		}
-	})
+	n.eng.ScheduleRunner(deliverAt, f)
 }
 
 // Broadcast multicasts payload from src to every other attached node as

@@ -82,6 +82,46 @@ type Switch struct {
 	// Windowed series resolved by SetSeries (nil when off).
 	serBusy    *tseries.Series
 	serBacklog *tseries.Series
+
+	// frames is the free list of pooled delivery callbacks (one per
+	// in-flight transfer; a multicast uses one per destination since
+	// the switch sends one copy per receiver).
+	frames []*swFrame
+}
+
+// swFrame is a pooled in-flight switch transfer: the delivery callback
+// scheduled for one destination's arrival. See Network's frame type —
+// same trick, per-destination because the crossbar has no shared
+// medium.
+type swFrame struct {
+	s       *Switch
+	src     int
+	dst     int
+	payload interface{}
+	sentAt  sim.Time
+}
+
+// getFrame takes a transfer object from the pool (or allocates one).
+func (s *Switch) getFrame(src, dst int, payload interface{}, sentAt sim.Time) *swFrame {
+	var f *swFrame
+	if ln := len(s.frames); ln > 0 {
+		f = s.frames[ln-1]
+		s.frames[ln-1] = nil
+		s.frames = s.frames[:ln-1]
+	} else {
+		f = &swFrame{s: s}
+	}
+	f.src, f.dst, f.payload, f.sentAt = src, dst, payload, sentAt
+	return f
+}
+
+// Run delivers the transfer and returns the object to the pool.
+func (f *swFrame) Run() {
+	s := f.s
+	s.stats.Delivered++
+	s.handlers[f.dst](f.src, f.payload, f.sentAt)
+	f.payload = nil
+	s.frames = append(s.frames, f)
 }
 
 // SetSeries wires the switch's windowed simulated-time series into
@@ -161,10 +201,7 @@ func (s *Switch) Unicast(src, dst, size int, payload interface{}, onWire func())
 	s.serBusy.Add(start, float64(tx)/1e3)
 	s.serBacklog.Add(now, float64(start.Sub(now))/1e3)
 	end := start.Add(tx)
-	s.eng.Schedule(end.Add(s.cfg.Latency), func() {
-		s.stats.Delivered++
-		s.handlers[dst](src, payload, now)
-	})
+	s.eng.ScheduleRunner(end.Add(s.cfg.Latency), s.getFrame(src, dst, payload, now))
 	s.egressFreeAt[src] = end
 	if onWire != nil {
 		s.eng.Schedule(end, onWire)
@@ -208,12 +245,7 @@ func (s *Switch) Multicast(src int, dsts []int, size int, payload interface{}, o
 		s.stats.QueueDelay += start.Sub(now)
 		s.serBusy.Add(start, float64(tx)/1e3)
 		end := start.Add(tx)
-		deliverAt := end.Add(s.cfg.Latency)
-		dst := dst
-		s.eng.Schedule(deliverAt, func() {
-			s.stats.Delivered++
-			s.handlers[dst](src, payload, now)
-		})
+		s.eng.ScheduleRunner(end.Add(s.cfg.Latency), s.getFrame(src, dst, payload, now))
 		start = end
 	}
 	s.egressFreeAt[src] = start

@@ -34,6 +34,13 @@ type Message struct {
 	// here). Reliable-mode delivery copies share it; the message layer
 	// itself never touches it.
 	Aux interface{}
+
+	// refs counts receivers that have not yet finished with a pooled
+	// message (Config.Pooling). Zero marks an unpooled message that is
+	// never recycled. Each receiver's share is released when that task
+	// performs its *next* dequeue — see the ownership rule on
+	// Config.Pooling.
+	refs int
 }
 
 // Config carries the software overheads of the messaging layer. These
@@ -77,6 +84,16 @@ type Config struct {
 	// selects the default (12, spanning ~80 virtual seconds of
 	// backoff — far beyond any injected fault window).
 	MaxRetries int
+	// Pooling recycles Message objects through a per-machine free list,
+	// making the steady-state send/receive path allocation-free. It
+	// tightens the ownership rule: a received *Message (and its Data)
+	// is valid only until the receiving task's next
+	// Recv/NRecv/RecvTimeout — receivers must copy out what they keep.
+	// All in-repo runners obey this rule already. Off by default, and
+	// it MUST stay off when a fault injector wraps the fabric: fault
+	// duplication re-delivers the same payload pointer, which would
+	// double-release a pooled message.
+	Pooling bool
 }
 
 // DefaultConfig returns PVM-over-Ethernet-scale software overheads.
@@ -120,6 +137,45 @@ type Machine struct {
 	serQueue    *tseries.Series
 	serRetx     *tseries.Series
 	serBytes    *tseries.Series
+
+	// msgFree is the Message free list (Config.Pooling). Per-machine,
+	// not package-global: sweeps run independent machines on parallel
+	// goroutines, and a shared pool would race.
+	msgFree []*Message
+}
+
+// Pooling reports whether the machine recycles Message objects (see
+// Config.Pooling). Layers above that keep their own pools — the DSM
+// node's update records, for instance — key off this so one switch
+// governs the whole stack's ownership rules.
+func (m *Machine) Pooling() bool { return m.cfg.Pooling }
+
+// getMsg takes a Message from the free list or allocates one.
+func (m *Machine) getMsg() *Message {
+	if n := len(m.msgFree); n > 0 {
+		msg := m.msgFree[n-1]
+		m.msgFree[n-1] = nil
+		m.msgFree = m.msgFree[:n-1]
+		return msg
+	}
+	return &Message{}
+}
+
+// releaseMsg returns one receiver's share of a pooled message. The
+// object is cleared and recycled when the last receiver releases it;
+// unpooled messages (refs == 0) pass through untouched. A pooled
+// message one of whose deliveries was lost never reaches zero and is
+// simply collected by the GC — the pool leaks an object rather than
+// ever recycling early.
+func (m *Machine) releaseMsg(msg *Message) {
+	if msg.refs <= 0 {
+		return
+	}
+	msg.refs--
+	if msg.refs == 0 {
+		*msg = Message{}
+		m.msgFree = append(m.msgFree, msg)
+	}
 }
 
 // SetSeries wires the machine's windowed simulated-time series into
@@ -184,6 +240,23 @@ type Task struct {
 
 	inflight int          // frames sent but not yet clear of the bus
 	sendWL   sim.WaitList // senders blocked on the send window
+
+	// lastRecv is the pooled message handed to the application by the
+	// previous dequeue; its share is released when the next dequeue
+	// begins (the Config.Pooling ownership rule made operational).
+	lastRecv *Message
+
+	// wireDone is the preallocated window-release callback for sends
+	// with no caller onWire — the dominant case, which would otherwise
+	// allocate a closure per send.
+	wireDone func()
+
+	// dst1 and nodeBuf are reusable scratch for the send path: the
+	// single-destination slice and the task-id→node-id translation.
+	// Safe because a task is one process — it cannot be inside two
+	// sends at once — and the fabric does not retain either slice.
+	dst1    [1]int
+	nodeBuf []int
 
 	sent, received int64
 	stalls         int64 // sends that had to wait for the window
@@ -253,6 +326,10 @@ func (m *Machine) Spawn(name string, fn func(*Task)) *Task {
 	// The queue is pre-sized for the common few-messages-in-flight case
 	// so steady-state enqueue/dequeue does not grow the backing array.
 	t := &Task{m: m, id: len(m.tasks), queue: make([]*Message, 0, 16)}
+	t.wireDone = func() {
+		t.inflight--
+		t.sendWL.WakeOne()
+	}
 	m.tasks = append(m.tasks, t)
 	if m.cfg.Reliable {
 		t.node = m.net.Attach(name, func(src int, payload interface{}, sentAt sim.Time) {
@@ -278,6 +355,11 @@ func (m *Machine) Spawn(name string, fn func(*Task)) *Task {
 // ID returns the task id.
 func (t *Task) ID() int { return t.id }
 
+// Pooling reports whether the task's machine recycles messages (see
+// Config.Pooling) — the switch the coherence layer keys its own
+// payload pooling off.
+func (t *Task) Pooling() bool { return t.m.cfg.Pooling }
+
 // Proc returns the task's simulation process (for Sleep, Rng, Now).
 func (t *Task) Proc() *sim.Proc { return t.proc }
 
@@ -298,7 +380,8 @@ func (t *Task) Send(dst, tag int, size int, data interface{}) {
 // finishes transmission on the shared medium; DSM nodes use it to bound
 // their in-flight updates.
 func (t *Task) SendWithCallback(dst, tag int, size int, data interface{}, onWire func()) {
-	t.Multicast([]int{dst}, tag, size, data, onWire)
+	t.dst1[0] = dst
+	t.Multicast(t.dst1[:], tag, size, data, onWire)
 }
 
 // Multicast delivers one frame to every task in dsts — PVM's pvm_mcast
@@ -322,14 +405,25 @@ func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire
 		}
 	}
 	t.inflight++
-	msg := &Message{Src: t.id, Tag: tag, Data: data, Size: size, SentAt: t.m.eng.Now()}
+	var msg *Message
+	if t.m.cfg.Pooling && !t.m.cfg.Reliable {
+		// Reliable-mode originals are retained by the retransmission
+		// machinery indefinitely, so only the per-delivery copies are
+		// pooled (see deliverReliable).
+		msg = t.m.getMsg()
+		msg.refs = len(dsts)
+	} else {
+		msg = &Message{}
+	}
+	msg.Src, msg.Tag, msg.Data, msg.Size, msg.SentAt = t.id, tag, data, size, t.m.eng.Now()
 	t.bytesSent += int64(size)
 	t.m.serBytes.Add(msg.SentAt, float64(size))
 	t.traceSend(msg)
-	wireDone := func() {
-		t.inflight--
-		t.sendWL.WakeOne()
-		if onWire != nil {
+	wireDone := t.wireDone
+	if onWire != nil {
+		wireDone = func() {
+			t.inflight--
+			t.sendWL.WakeOne()
 			onWire()
 		}
 	}
@@ -342,10 +436,11 @@ func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire
 	if len(dsts) == 1 {
 		t.m.net.Unicast(t.node, t.m.tasks[dsts[0]].node, size, payload, wireDone)
 	} else {
-		nodes := make([]int, len(dsts))
-		for i, dst := range dsts {
-			nodes[i] = t.m.tasks[dst].node
+		nodes := t.nodeBuf[:0]
+		for _, dst := range dsts {
+			nodes = append(nodes, t.m.tasks[dst].node)
 		}
+		t.nodeBuf = nodes
 		t.m.net.Multicast(t.node, nodes, size, payload, wireDone)
 	}
 	if env != nil {
@@ -394,8 +489,17 @@ func (t *Task) recvCost(msg *Message) sim.Duration {
 }
 
 // charge accounts a dequeued message to the task: the unpacking CPU
-// time (advancing the task's clock) and the receive-side counters.
+// time (advancing the task's clock) and the receive-side counters. It
+// is also the pool's release point: dequeuing a message ends the
+// application's ownership of the previous one (Config.Pooling).
 func (t *Task) charge(msg *Message) {
+	if prev := t.lastRecv; prev != nil {
+		t.lastRecv = nil
+		t.m.releaseMsg(prev)
+	}
+	if msg.refs > 0 {
+		t.lastRecv = msg
+	}
 	if t.m.RecvHook != nil {
 		t.m.RecvHook(t.id, msg)
 	}

@@ -80,6 +80,16 @@ func (e *Engine) scheduleStep(at Time, p *Proc) {
 	e.push(at).proc = p
 }
 
+// ScheduleRunner registers r.Run() to fire at absolute time at. It is
+// Schedule for reusable callback objects: the interface value is stored
+// in the pooled event, so a caller recycling its runners schedules with
+// zero allocations.
+func (e *Engine) ScheduleRunner(at Time, r Runner) EventHandle {
+	ev := e.push(at)
+	ev.runner = r
+	return EventHandle{ev, ev.seq}
+}
+
 // push takes an event object from the free list (or allocates one),
 // stamps it, and queues it. fn/proc are left for the caller to fill.
 func (e *Engine) push(at Time) *event {
@@ -107,6 +117,7 @@ func (e *Engine) push(at Time) *event {
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.proc = nil
+	ev.runner = nil
 	e.free = append(e.free, ev)
 }
 
@@ -162,11 +173,14 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 		// Detach the payload and recycle before firing: the callback may
 		// schedule (and thereby reuse) freely.
-		fn, p := ev.fn, ev.proc
+		fn, p, r := ev.fn, ev.proc, ev.runner
 		e.recycle(ev)
-		if p != nil {
+		switch {
+		case p != nil:
 			e.step(p)
-		} else {
+		case r != nil:
+			r.Run()
+		default:
 			fn()
 		}
 	}

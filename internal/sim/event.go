@@ -17,9 +17,20 @@ type event struct {
 	seq  uint64
 	fn   func()
 	proc *Proc // when non-nil, fire by stepping this process (fn is nil)
+	// runner, when non-nil, fires by calling Run() (fn and proc are
+	// nil). Callers with a reusable callback object schedule it through
+	// ScheduleRunner and skip the closure allocation fn would need —
+	// the same trick proc plays for process resumptions.
+	runner Runner
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
 }
+
+// Runner is a schedulable callback object. Storing a pointer in the
+// event's Runner field allocates nothing, so pooled callback objects
+// (e.g. the network's frame deliveries) make the hot path
+// allocation-free where a fresh closure per schedule could not.
+type Runner interface{ Run() }
 
 // EventHandle allows a scheduled event to be canceled before it fires.
 // The handle remembers the event's sequence number: once the event has
