@@ -22,6 +22,7 @@ var rawconcScope = []string{
 	"nscc/internal/rollback",
 	"nscc/internal/partition",
 	"nscc/internal/exper",
+	"nscc/internal/graph",
 }
 
 // Rawconc reports raw Go concurrency — go statements, channels,

@@ -3,6 +3,7 @@ package exper
 import (
 	"nscc/internal/bayes"
 	"nscc/internal/ga/functions"
+	"nscc/internal/graph"
 )
 
 // Cell counts for the pooled sweeps. A "cell" is one independent,
@@ -36,6 +37,12 @@ func AgeSweepCells(opts Options, nLoads int) int {
 	refs := nLoads * opts.Trials
 	sweep := nLoads * (len(ageSweepAges) + 1) * opts.Trials
 	return refs + sweep
+}
+
+// GraphSweepCells is the graph sweep's job count: topologies ×
+// algorithms × trials (each cell runs the oracle plus every variant).
+func GraphSweepCells(opts Options, nSpecs int) int {
+	return nSpecs * len(graph.Algos) * opts.Trials
 }
 
 func nFns(fns []*functions.Function) int {

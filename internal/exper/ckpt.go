@@ -7,6 +7,7 @@ import (
 	"nscc/internal/bayes"
 	"nscc/internal/ckpt"
 	"nscc/internal/ga/functions"
+	"nscc/internal/graph"
 	"nscc/internal/runner"
 )
 
@@ -120,6 +121,20 @@ func ageRefKey(fn *functions.Function, p int, load float64, trial int, seed int6
 	fp.I64("fn", int64(fn.No))
 	fp.I64("p", int64(p))
 	fp.F64("load", load)
+	fp.I64("trial", int64(trial))
+	fp.I64("seed", seed)
+	return fp.Sum()
+}
+
+// graphCellKey fingerprints one (topology, algorithm, trial) graph
+// sweep cell on p partitions and its derived seed. The topology enters
+// as its spec string — two sweeps over different topology lists share
+// cells for the specs they have in common.
+func graphCellKey(spec string, algo graph.Algo, p, trial int, seed int64) ckpt.Key {
+	fp := cellFingerprint("graphsweep")
+	fp.Str("topo", spec)
+	fp.Str("algo", algo.String())
+	fp.I64("p", int64(p))
 	fp.I64("trial", int64(trial))
 	fp.I64("seed", seed)
 	return fp.Sum()

@@ -185,6 +185,7 @@ const (
 	seedStreamBayes
 	seedStreamAge
 	seedStreamTable2
+	seedStreamGraph
 )
 
 // gaCellSeed derives the seed of one (trial, function, P) GA cell. The

@@ -40,6 +40,7 @@ const (
 	goldenFigure4 = "8071eb9f0b91b5deffa709ce961437031617a50bd73e48c98de070078d2634d7"
 	goldenTable2  = "eed4d4191e467e8b40e81748373f36b1eeb6dd1aac0749385cb304c43b0dbb1b"
 	goldenAge     = "675816817a372c1fd9d0ada215d7c226269bb50b8e0cdcd8e697c717acf9d499"
+	goldenGraph   = "cfbf78218b623e1d07913e845ef7fb59038b13db03d32f36076b87c40167a377"
 )
 
 // -update-goldens prints the computed hashes instead of asserting,
@@ -171,6 +172,28 @@ func fingerprintAgeSweep(t *testing.T, workers int) string {
 	return hashOf(buf.Bytes())
 }
 
+func fingerprintGraphSweep(t *testing.T, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rows, err := GraphSweep(&buf, goldenOpts(workers), nil, 4)
+	if err != nil {
+		t.Fatalf("GraphSweep(workers=%d): %v", workers, err)
+	}
+	if err := WriteGraphRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&buf, "%s %s p=%d", r.Spec, r.Algo, r.P)
+		for _, v := range Variants() {
+			fmt.Fprintf(&buf, " %s=%s/s%s/c%d/d%s/w%s",
+				v, fpFloat(r.Speedup[v]), fpFloat(r.Supersteps[v]), r.Converged[v],
+				fpFloat(r.MaxDiff[v]), fpFloat(r.Warp[v]))
+		}
+		fmt.Fprintln(&buf)
+	}
+	return hashOf(buf.Bytes())
+}
+
 func hashOf(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
@@ -194,6 +217,7 @@ func TestGoldenSweepFingerprints(t *testing.T) {
 		{"Figure4", goldenFigure4, fingerprintFigure4},
 		{"Table2", goldenTable2, fingerprintTable2},
 		{"AgeSweep", goldenAge, fingerprintAgeSweep},
+		{"GraphSweep", goldenGraph, fingerprintGraphSweep},
 	}
 	for _, sw := range sweeps {
 		sw := sw

@@ -1,0 +1,109 @@
+package exper
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nscc/internal/ckpt"
+)
+
+// runGraphSweep renders the sweep and returns report + CSV text, so
+// the checkpoint test asserts byte identity of everything a user sees.
+func runGraphSweep(t *testing.T, opts Options, specs []string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rows, err := GraphSweep(&buf, opts, specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGraphRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestGraphSweepSmoke(t *testing.T) {
+	opts := tinyOpts()
+	specs := []string{"ring:24"}
+	var buf bytes.Buffer
+	rows, err := GraphSweep(&buf, opts, specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != GraphSweepCells(opts, len(specs)) {
+		t.Fatalf("%d rows for %d cells (1 trial: rows == cells)", len(rows), GraphSweepCells(opts, len(specs)))
+	}
+	for _, r := range rows {
+		for _, v := range Variants() {
+			if r.Converged[v] != opts.Trials {
+				t.Errorf("%s %s %s: %d/%d trials converged", r.Spec, r.Algo, v, r.Converged[v], opts.Trials)
+			}
+			if r.MaxDiff[v] > 1e-6 {
+				t.Errorf("%s %s %s: max diff vs oracle %g", r.Spec, r.Algo, v, r.MaxDiff[v])
+			}
+			if r.Speedup[v] <= 0 {
+				t.Errorf("%s %s %s: speedup %g", r.Spec, r.Algo, v, r.Speedup[v])
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Graph sweep") {
+		t.Error("report missing caption")
+	}
+}
+
+// TestGraphSweepCheckpointResume is the graph sweep's crash drill,
+// mirroring Figure 2's: uncached, fresh-cached, torn-journal resume,
+// and a warm rerun at a different worker count must all produce
+// byte-identical output.
+func TestGraphSweepCheckpointResume(t *testing.T) {
+	opts := tinyOpts()
+	specs := []string{"ring:24"}
+	clean := runGraphSweep(t, opts, specs)
+
+	dir := t.TempDir()
+	cachedOpts := opts
+	cachedOpts.Ckpt = ckpt.NewStore(dir, false)
+	if got := runGraphSweep(t, cachedOpts, specs); got != clean {
+		t.Fatalf("fresh cached run differs from uncached:\n%s\n--- vs ---\n%s", got, clean)
+	}
+	if c := cachedOpts.Ckpt.Counters(); c.Hits != 0 || c.Misses != 2 {
+		t.Fatalf("fresh run counters %+v, want 0 hits / 2 misses", c)
+	}
+	closeStore(t, cachedOpts.Ckpt)
+
+	// Kill mid-write: chop a byte off the journal's last record. Resume
+	// must truncate the torn tail, replay the intact cell, and re-run
+	// only the torn one — byte-identically.
+	journal := filepath.Join(dir, "graphsweep.ckpt")
+	fi, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(journal, fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	resumeOpts := opts
+	resumeOpts.Ckpt = ckpt.NewStore(dir, true)
+	if got := runGraphSweep(t, resumeOpts, specs); got != clean {
+		t.Fatalf("resumed run differs from clean run:\n%s\n--- vs ---\n%s", got, clean)
+	}
+	if c := resumeOpts.Ckpt.Counters(); c.TornRecords != 1 || c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("resume counters %+v, want 1 torn / 1 hit / 1 miss", c)
+	}
+	closeStore(t, resumeOpts.Ckpt)
+
+	// Warm rerun at a different worker count: all hits, same bytes.
+	warmOpts := opts
+	warmOpts.Workers = 8
+	warmOpts.Ckpt = ckpt.NewStore(dir, true)
+	if got := runGraphSweep(t, warmOpts, specs); got != clean {
+		t.Fatal("warm 8-worker run differs from clean run")
+	}
+	if c := warmOpts.Ckpt.Counters(); c.Hits != 2 || c.Misses != 0 {
+		t.Fatalf("warm counters %+v, want 2 hits / 0 misses", c)
+	}
+	closeStore(t, warmOpts.Ckpt)
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// FuzzParseEdgeList hammers the edge-list loader with arbitrary bytes.
+// The contract under fuzzing: never panic, never blow allocation caps,
+// and any graph that parses must be structurally valid — a well-formed
+// CSR with in-range indices, no self-loops, no duplicates, positive
+// finite weights, and a round trip through the textual form that
+// reloads to the identical structure.
+func FuzzParseEdgeList(f *testing.F) {
+	seeds := []string{
+		"n 4\n0 1\n1 2\n2 3\n3 0\n",
+		"# comment\nn 3\n0 1 2.5\n1 0 0.125\n",
+		"n 2\n0 1 1e-3\n1 0 9.75\n",
+		// Malformed documents the parser must reject cleanly.
+		"",
+		"0 1\n",
+		"n 0\n",
+		"n -5\n",
+		"n 4\n0 0\n",
+		"n 4\n0 1 nan\n",
+		"n 4\n0 1 -1\n",
+		"n 4\n0 1 inf\n",
+		"n 4\n0 1\n0 1\n",
+		"n 4\n0 99\n",
+		"n 4\n0 1 2 3 4\n",
+		"n 99999999999999999999\n",
+		"n 4\nn 4\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseEdgeList(data)
+		if err != nil {
+			return
+		}
+		validateFuzzed(t, g)
+		// Round trip: re-emit the parsed graph as an edge list and
+		// reload it; the CSR must come back identical.
+		out := fmt.Sprintf("n %d\n", g.N)
+		for v := 0; v < g.N; v++ {
+			for i := g.InOff[v]; i < g.InOff[v+1]; i++ {
+				out += fmt.Sprintf("%d %d %.17g\n", g.InSrc[i], v, g.InW[i])
+			}
+		}
+		h, err := ParseEdgeList([]byte(out))
+		if err != nil {
+			t.Fatalf("round trip does not re-parse: %v\nemitted: %q", err, out)
+		}
+		if h.N != g.N || h.M() != g.M() {
+			t.Fatalf("round trip changed shape: n=%d m=%d vs n=%d m=%d", h.N, h.M(), g.N, g.M())
+		}
+	})
+}
+
+// FuzzParseTopoSpec fuzzes the generator-spec parser: never panic, and
+// any spec that parses must yield a valid graph within the caps.
+func FuzzParseTopoSpec(f *testing.F) {
+	seeds := []string{
+		"ring:8",
+		"ring:2",
+		"random:n=16,m=20,seed=2",
+		"random:n=16",
+		"clustered:n=16,k=2,seed=5",
+		"clustered:n=8",
+		// Malformed specs the parser must reject cleanly.
+		"",
+		"ring:",
+		"ring:1",
+		"ring:x",
+		"grid:8",
+		"random:",
+		"random:n=0",
+		"random:n=-4,m=2",
+		"random:n=8,m",
+		"random:n=8,q=1",
+		"random:n=99999999,m=99999999",
+		"clustered:n=4,k=99",
+		"clustered:n=8,k=0",
+		"random:n=8,m=4,seed=-9223372036854775808",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Specs can request generator work proportional to n+m; the caps
+		// bound it, but keep fuzz iterations fast by skipping huge valid
+		// requests.
+		g, err := ParseTopoSpec(spec)
+		if err != nil {
+			return
+		}
+		validateFuzzed(t, g)
+	})
+}
+
+// validateFuzzed asserts the structural invariants on a graph a fuzzed
+// loader accepted.
+func validateFuzzed(t *testing.T, g *Graph) {
+	t.Helper()
+	if g.N <= 0 || g.N > maxVertices || g.M() > maxEdges {
+		t.Fatalf("accepted graph breaks caps: n=%d m=%d", g.N, g.M())
+	}
+	if len(g.InOff) != g.N+1 || len(g.OutDeg) != g.N || len(g.InW) != g.M() {
+		t.Fatalf("inconsistent CSR shape: %d/%d/%d for n=%d m=%d",
+			len(g.InOff), len(g.OutDeg), len(g.InW), g.N, g.M())
+	}
+	seen := make(map[int64]bool, g.M())
+	for v := 0; v < g.N; v++ {
+		if g.InOff[v] > g.InOff[v+1] {
+			t.Fatalf("CSR offsets not monotone at %d", v)
+		}
+		for i := g.InOff[v]; i < g.InOff[v+1]; i++ {
+			src, w := int(g.InSrc[i]), g.InW[i]
+			if src < 0 || src >= g.N || src == v {
+				t.Fatalf("bad in-edge source %d at vertex %d", src, v)
+			}
+			if !(w > 0) || math.IsInf(w, 0) {
+				t.Fatalf("bad weight %v on edge %d->%d", w, src, v)
+			}
+			key := int64(src)*int64(g.N) + int64(v)
+			if seen[key] {
+				t.Fatalf("duplicate edge %d->%d survived validation", src, v)
+			}
+			seen[key] = true
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"nscc/internal/core"
+)
+
+// oracleSpecs are the three topology classes the differential harness
+// proves convergence on: the diameter-maximizing ring, a random graph,
+// and a clustered graph whose few inter-cluster bridges are the
+// staleness-critical paths.
+var oracleSpecs = []string{
+	"ring:48",
+	"random:n=48,m=96,seed=7",
+	"clustered:n=48,k=4,seed=7",
+}
+
+// oracleVariants is the full coherence-discipline matrix: barrier-sync,
+// fully asynchronous, and every sweep age bound.
+type variant struct {
+	name string
+	mode core.Mode
+	age  int64
+}
+
+var oracleVariants = []variant{
+	{"sync", core.Sync, 0},
+	{"async", core.Async, 0},
+	{"gr0", core.NonStrict, 0},
+	{"gr5", core.NonStrict, 5},
+	{"gr10", core.NonStrict, 10},
+	{"gr20", core.NonStrict, 20},
+	{"gr30", core.NonStrict, 30},
+}
+
+// TestDifferentialOracle is the correctness headline: on every
+// topology class, every algorithm, and every coherence discipline, the
+// partitioned run must converge to within DiffEps (L-infinity) of the
+// sequential ground truth.
+func TestDifferentialOracle(t *testing.T) {
+	calib := DefaultCalibration()
+	for _, spec := range oracleSpecs {
+		g, err := ParseTopoSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		for _, algo := range Algos {
+			seq := RunSequential(g, algo, DefaultEps, 4000, calib)
+			for _, v := range oracleVariants {
+				v := v
+				t.Run(fmt.Sprintf("%s/%s/%s", spec, algo, v.name), func(t *testing.T) {
+					res, err := Run(Config{
+						G: g, Algo: algo, P: 4,
+						Mode: v.mode, Age: v.age,
+						MaxSupersteps: 4000,
+						Seed:          42,
+						Calib:         calib,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Converged {
+						t.Fatalf("did not converge (residual %g after %v supersteps)",
+							res.Residual, res.Supersteps)
+					}
+					if d := MaxDiff(res.Values, seq.Values); d > DiffEps {
+						t.Errorf("max diff vs sequential oracle = %g, want <= %g", d, DiffEps)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSequentialOracleFixedPoints sanity-checks the ground truth
+// itself on topologies with known answers.
+func TestSequentialOracleFixedPoints(t *testing.T) {
+	calib := DefaultCalibration()
+	g, err := Ring(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ring's PageRank fixed point is exactly uniform (every vertex has
+	// in-degree = out-degree = 1), so the initial vector is already
+	// converged.
+	pr := RunSequential(g, PageRank, DefaultEps, 100, calib)
+	for v, r := range pr.Values {
+		if d := r - 1.0/16; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("ring pagerank[%d] = %v, want uniform 1/16", v, r)
+		}
+	}
+	if pr.Iters != 1 {
+		t.Errorf("ring pagerank took %d iters, want 1 (uniform start is the fixed point)", pr.Iters)
+	}
+	// Ring SSSP from vertex 0 with unit weights: dist[v] = v.
+	ss := RunSequential(g, SSSP, DefaultEps, 100, calib)
+	for v, d := range ss.Values {
+		if d != float64(v) {
+			t.Fatalf("ring sssp[%d] = %v, want %d", v, d, v)
+		}
+	}
+	if ss.Time <= 0 {
+		t.Errorf("sequential time not modeled: %v", ss.Time)
+	}
+}

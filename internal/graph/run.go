@@ -1,0 +1,537 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"nscc/internal/core"
+	"nscc/internal/faults"
+	"nscc/internal/metrics"
+	"nscc/internal/netsim"
+	"nscc/internal/pvm"
+	"nscc/internal/sim"
+	"nscc/internal/simrace"
+	"nscc/internal/trace"
+	"nscc/internal/tseries"
+)
+
+// ctrlTag carries per-superstep convergence reports to partition 0,
+// the termination coordinator.
+const ctrlTag = 9100
+
+// doneTag carries the coordinator's "the fixed point is reached"
+// broadcast.
+const doneTag = 9000
+
+// doneMsgSize is the network size of a termination notice.
+const doneMsgSize = 8
+
+// sentinelIter is the iteration stamp of the final state an exiting
+// partition publishes, so no peer ever blocks on its location again.
+const sentinelIter int64 = 1 << 60
+
+// ctrlMsg is one partition's per-superstep report to the coordinator:
+// its residual and frontier for the superstep, plus the freshest
+// iteration it has observed from each of its source partitions (Seen
+// is aligned with the partition's source list). The Seen vector is
+// what makes asynchronous termination safe: a residual can look clean
+// on stale operands, so the coordinator only trusts clean reports
+// computed from every source's post-last-change state.
+type ctrlMsg struct {
+	Part     int
+	Iter     int64
+	Residual float64
+	Frontier int64
+	Seen     []int64
+}
+
+// ctrlMsgSize is the network size of a convergence report carrying
+// nsrc observed-iteration entries.
+func ctrlMsgSize(nsrc int) int { return 24 + 8*nsrc }
+
+// Config describes one partitioned graph-kernel run.
+type Config struct {
+	G    *Graph
+	Algo Algo
+	P    int // partitions / simulated processors
+	Mode core.Mode
+	Age  int64 // Global_Read staleness bound (NonStrict mode), in supersteps
+
+	// Eps is the global convergence bound (DefaultEps when zero). A
+	// partition is clean when its superstep residual is at most Eps/P,
+	// so the summed residual at convergence is at most Eps — directly
+	// comparable to the sequential oracle's global bound.
+	Eps float64
+	// MaxSupersteps caps a run that fails to converge (required).
+	MaxSupersteps int64
+	// Quiet is how many consecutive clean reports the coordinator needs
+	// from every partition before declaring convergence (on top of the
+	// seen-frontier condition — see ctrlMsg). Zero selects the mode's
+	// default: 1 for Sync (the barrier makes residuals exact global
+	// state), 4 for Async and NonStrict, covering the dirty reports
+	// that can still be in flight when the coordinator's picture looks
+	// quiet. The differential oracle test is the empirical proof of
+	// these windows.
+	Quiet int
+
+	Seed     int64
+	Calib    Calibration
+	NodeOpts core.Options
+
+	// Net overrides the bus network model (nil = netsim.DefaultConfig()).
+	Net *netsim.Config
+	// Switch, if set, runs on the SP2-style crossbar switch instead.
+	Switch *netsim.SwitchConfig
+	// PVM overrides the messaging overheads (nil = pvm.DefaultConfig()).
+	PVM *pvm.Config
+
+	// Faults, Reliable, ReadTimeout: exactly the GA runner's contract.
+	// Note the Sync barrier and the exit protocol rely on per-pair
+	// in-order delivery; under reordering fault plans run Reliable,
+	// which restores it.
+	Faults      *faults.Plan
+	Reliable    bool
+	ReadTimeout sim.Duration
+
+	Tracer trace.Tracer
+	// RaceCheck runs the simulated-time race classifier (strictly
+	// passive) and fills Telemetry.Races.
+	RaceCheck bool
+	// Series, if set, records windowed series: counter "graph.iters"
+	// (supersteps per window), gauge "graph.residual" and gauge
+	// "graph.frontier_size" (freshest per-superstep values).
+	Series *tseries.Set
+
+	// OnSuperstep, if set, observes every partition's owned sub-vector
+	// at the end of each superstep (the property-test hook; the engine
+	// is serialized, so no synchronization is needed). The slice is
+	// live — observers must copy what they keep.
+	OnSuperstep func(part int, iter int64, owned []float64)
+}
+
+// Result reports one partitioned run.
+type Result struct {
+	Values     []float64 // assembled final state vector
+	Completion sim.Duration
+	Supersteps []int64 // supersteps completed per partition
+	Converged  bool    // the coordinator declared quiet convergence
+	Residual   float64 // sum of the partitions' final residual reports
+
+	Messages    int64
+	NetBytes    int64
+	QueueDelay  sim.Duration
+	WarpMean    float64
+	WarpMax     float64
+	BlockedTime sim.Duration
+	Blocked     int64
+
+	Telemetry *metrics.Telemetry
+}
+
+// quietDefault returns the mode's consecutive-clean window.
+func (c Config) quietDefault() int {
+	if c.Quiet > 0 {
+		return c.Quiet
+	}
+	if c.Mode == core.Sync {
+		return 1
+	}
+	return 4
+}
+
+// Run executes one partitioned graph-kernel configuration on a fresh
+// simulated cluster. The run is deterministic in cfg.Seed.
+func Run(cfg Config) (Result, error) {
+	if cfg.G == nil {
+		panic("graph: Run needs a graph")
+	}
+	if cfg.P < 1 {
+		panic("graph: Run needs at least 1 partition")
+	}
+	if cfg.P > cfg.G.N {
+		panic(fmt.Sprintf("graph: %d partitions for %d vertices", cfg.P, cfg.G.N))
+	}
+	if cfg.MaxSupersteps <= 0 {
+		panic("graph: Run requires MaxSupersteps")
+	}
+	g := cfg.G
+	eps := cfg.Eps
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	partEps := eps / float64(cfg.P)
+	quiet := cfg.quietDefault()
+
+	eng := sim.NewEngine(cfg.Seed)
+	eng.SetTracer(cfg.Tracer)
+	var net netsim.Fabric
+	if cfg.Switch != nil {
+		sw := netsim.NewSwitch(eng, *cfg.Switch)
+		sw.SetSeries(cfg.Series)
+		net = sw
+	} else {
+		netCfg := netsim.DefaultConfig()
+		if cfg.Net != nil {
+			netCfg = *cfg.Net
+		}
+		bus := netsim.New(eng, netCfg)
+		bus.SetSeries(cfg.Series)
+		net = bus
+	}
+	if cfg.Faults != nil {
+		net = faults.Wrap(net, cfg.Faults)
+	}
+	pvmCfg := pvm.DefaultConfig()
+	if cfg.PVM != nil {
+		pvmCfg = *cfg.PVM
+	}
+	if cfg.Reliable {
+		pvmCfg.Reliable = true
+	}
+	// Pooling is safe only without fault injection (duplication
+	// re-delivers the same payload pointer).
+	pvmCfg.Pooling = cfg.Faults == nil
+	machine := pvm.NewMachine(eng, net, pvmCfg)
+	machine.SetSeries(cfg.Series)
+	warp := metrics.NewWarpMeter()
+	warpSeries := metrics.NewWarpSeries(100 * sim.Millisecond)
+	serIters := cfg.Series.Counter("graph.iters")
+	serResid := cfg.Series.Gauge("graph.residual")
+	serFrontier := cfg.Series.Gauge("graph.frontier_size")
+	machine.ArrivalHook = func(dst int, m *pvm.Message) {
+		warp.Observe(dst, m.Src, m.SentAt, m.ArrivedAt)
+		warpSeries.Observe(dst, m.Src, m.SentAt, m.ArrivedAt)
+	}
+	nodeOpts := cfg.NodeOpts
+	if cfg.ReadTimeout > 0 {
+		nodeOpts.ReadTimeout = cfg.ReadTimeout
+	}
+	nodeOpts.Series = cfg.Series
+	var rc *simrace.Checker
+	if cfg.RaceCheck {
+		rc = simrace.New(eng)
+		rc.Attach(machine)
+		nodeOpts.Races = rc
+	}
+
+	// Partitioning: contiguous vertex blocks; partition q reads the
+	// location of every partition owning a source of one of q's
+	// in-edges.
+	bounds := partBounds(g.N, cfg.P)
+	part := make([]int, g.N)
+	for p := 0; p < cfg.P; p++ {
+		for v := bounds[p]; v < bounds[p+1]; v++ {
+			part[v] = p
+		}
+	}
+	reads := make([][]bool, cfg.P)
+	for q := range reads {
+		reads[q] = make([]bool, cfg.P)
+	}
+	for v := 0; v < g.N; v++ {
+		q := part[v]
+		for i := g.InOff[v]; i < g.InOff[v+1]; i++ {
+			if p := part[g.InSrc[i]]; p != q {
+				reads[q][p] = true
+			}
+		}
+	}
+	locs := make([]*core.Location, cfg.P)
+	sources := make([][]int, cfg.P) // per partition: whose locations it reads
+	members := make([]int, cfg.P)
+	for p := 0; p < cfg.P; p++ {
+		members[p] = p
+		var readers []int
+		for q := 0; q < cfg.P; q++ {
+			if reads[q][p] {
+				readers = append(readers, q)
+				sources[q] = append(sources[q], p)
+			}
+		}
+		locs[p] = &core.Location{
+			ID:      p,
+			Name:    "state",
+			Writer:  p,
+			Readers: readers,
+			Size:    StateBytes(bounds[p+1] - bounds[p]),
+		}
+	}
+	barrier := core.NewMsgBarrier(members)
+	init := initValues(cfg.Algo, g.N)
+
+	res := Result{
+		Values:     make([]float64, g.N),
+		Supersteps: make([]int64, cfg.P),
+	}
+	// Coordinator termination state: consecutive clean reports, last
+	// dirty superstep, and the latest Seen vector per partition.
+	lastResid := make([]float64, cfg.P)
+	cleanRun := make([]int, cfg.P)
+	lastDirty := make([]int64, cfg.P)
+	lastSeen := make([][]int64, cfg.P)
+	for q := 0; q < cfg.P; q++ {
+		lastDirty[q] = -1
+		lastSeen[q] = make([]int64, len(sources[q]))
+		for i := range lastSeen[q] {
+			lastSeen[q][i] = core.NoValue
+		}
+	}
+	coreStats := make([]core.Stats, cfg.P)
+	var staleHist metrics.Histogram
+	var exitTimes []sim.Time
+	remaining := cfg.P
+
+	for p := 0; p < cfg.P; p++ {
+		p := p
+		machine.Spawn("part", func(task *pvm.Task) {
+			node := core.NewNode(task, nodeOpts)
+			for _, l := range locs {
+				node.Register(l)
+			}
+			lo, hi := bounds[p], bounds[p+1]
+			owned := append([]float64(nil), init[lo:hi]...)
+			next := make([]float64, hi-lo)
+			view := append([]float64(nil), init...)
+			seen := make([]int64, len(sources[p])) // freshest observed iter per source
+			for i := range seen {
+				seen[i] = core.NoValue
+			}
+			jit := newJitterer(cfg.Calib, task.Proc().Rng())
+			stepCost := cfg.Calib.StepCost(hi-lo, int(g.InOff[hi]-g.InOff[lo])).Seconds()
+			done := false
+
+			finish := func(iter int64) {
+				// Publish the final state so no peer ever blocks on this
+				// partition again, then record results.
+				node.Write(locs[p], sentinelIter, append([]float64(nil), owned...))
+				res.Supersteps[p] = iter
+				copy(res.Values[lo:hi], owned)
+				st := node.Stats()
+				res.BlockedTime += st.BlockedTime
+				res.Blocked += st.BlockedReads
+				coreStats[p] = st
+				staleHist.Merge(node.Staleness())
+				exitTimes = append(exitTimes, task.Now())
+				remaining--
+				if remaining == 0 {
+					eng.Stop()
+				}
+			}
+
+			// report folds one convergence report into the coordinator's
+			// termination state (partition 0 only). Reports from one
+			// partition arrive in order, so assignment suffices. Clean
+			// means residual at or below the partition's share of the
+			// bound — the sequential oracle's criterion, NOT a bitwise
+			// fixed point: PageRank can oscillate forever in the last
+			// ulp (so a nonzero frontier alone must not veto), while
+			// for SSSP the residual IS the frontier count, so a clean
+			// report already implies an empty frontier.
+			report := func(m *ctrlMsg) {
+				lastResid[m.Part] = m.Residual
+				if m.Residual <= partEps {
+					cleanRun[m.Part]++
+				} else {
+					cleanRun[m.Part] = 0
+					lastDirty[m.Part] = m.Iter
+				}
+				copy(lastSeen[m.Part], m.Seen)
+			}
+
+			// converged decides termination: every partition clean for a
+			// quiet stretch, and every clean report computed from each
+			// source's post-last-change state — a residual that only
+			// looked clean on stale operands cannot pass. Within the
+			// convergence bound, the assembled state is then a global
+			// fixed point of one Jacobi step.
+			converged := func() bool {
+				for q := 0; q < cfg.P; q++ {
+					if cleanRun[q] < quiet {
+						return false
+					}
+					for si, src := range sources[q] {
+						if lastSeen[q][si] <= lastDirty[src] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+
+			for iter := int64(0); ; iter++ {
+				if done || iter >= cfg.MaxSupersteps {
+					finish(iter)
+					return
+				}
+				// Asynchronous termination is polled: the coordinator
+				// folds whatever reports have arrived and leaves the
+				// moment it sees convergence (the sentinel publish keeps
+				// late readers from ever blocking on it); peers poll the
+				// notice between supersteps. Sync termination instead
+				// rides the barrier — see the end of the loop.
+				if cfg.Mode != core.Sync {
+					if p == 0 {
+						for {
+							m := task.NRecv(pvm.Any, ctrlTag)
+							if m == nil {
+								break
+							}
+							report(m.Data.(*ctrlMsg))
+						}
+						if converged() {
+							res.Converged = true
+							task.Bcast(doneTag, doneMsgSize, nil)
+							finish(iter)
+							return
+						}
+					} else if task.NRecv(pvm.Any, doneTag) != nil {
+						finish(iter)
+						return
+					}
+				}
+
+				// Publish this superstep's state, then read the peers
+				// under the run's coherence discipline.
+				stepStart := task.Now()
+				node.Write(locs[p], iter, append([]float64(nil), owned...))
+				copy(view[lo:hi], owned)
+				for si, src := range sources[p] {
+					var u core.Update
+					ok := false
+					switch cfg.Mode {
+					case core.Sync:
+						u = node.GlobalRead(locs[src], iter, 0)
+						ok = u.Iter != core.NoValue
+					case core.Async:
+						u, ok = node.Read(locs[src])
+					case core.NonStrict:
+						u = node.GlobalRead(locs[src], iter, cfg.Age)
+						ok = u.Iter != core.NoValue
+					}
+					if !ok {
+						continue // nothing arrived yet: keep the initial view
+					}
+					if u.Iter > seen[si] {
+						seen[si] = u.Iter
+					}
+					slo, shi := bounds[src], bounds[src+1]
+					if vs, vok := u.Value.([]float64); vok && len(vs) == shi-slo {
+						copy(view[slo:shi], vs)
+					}
+				}
+
+				residual, frontier := step(g, cfg.Algo, view, next, lo, hi)
+				copy(owned, next)
+				task.Compute(sim.DurationOf(stepCost * jit.next()))
+
+				if p == 0 {
+					report(&ctrlMsg{Part: 0, Iter: iter, Residual: residual, Frontier: frontier, Seen: seen})
+				} else {
+					task.Send(0, ctrlTag, ctrlMsgSize(len(seen)),
+						&ctrlMsg{Part: p, Iter: iter, Residual: residual, Frontier: frontier,
+							Seen: append([]int64(nil), seen...)})
+				}
+
+				now := task.Now()
+				serIters.Add(now, 1)
+				serResid.Add(now, residual)
+				serFrontier.Add(now, float64(frontier))
+				if tr := task.Tracer(); tr != nil {
+					tr.Emit(trace.Event{TS: int64(stepStart), Dur: int64(now.Sub(stepStart)),
+						Ph: trace.PhaseSpan, Pid: trace.PidApp, Tid: p, Cat: "graph", Name: "superstep",
+						K1: "iter", V1: iter, K2: "frontier", V2: frontier})
+				}
+				if cfg.OnSuperstep != nil {
+					cfg.OnSuperstep(p, iter, owned)
+				}
+				if cfg.Mode == core.Sync {
+					// Sync termination rides the barrier: every ctrl report
+					// precedes its sender's barrier arrival on the same
+					// (src,dst) FIFO stream, so once the coordinator (also
+					// the barrier coordinator, member 0) is released it has
+					// this superstep's complete picture in its mailbox. It
+					// decides and broadcasts a verdict that every peer
+					// BLOCKS on — nobody can enter a barrier round the
+					// coordinator will not serve, which keeps the exit
+					// deadlock-free even when fault injection delays the
+					// notice arbitrarily (run Reliable under lossy plans;
+					// the barrier itself needs delivery to terminate).
+					barrier.Wait(task)
+					if p == 0 {
+						for {
+							m := task.NRecv(pvm.Any, ctrlTag)
+							if m == nil {
+								break
+							}
+							report(m.Data.(*ctrlMsg))
+						}
+						stop := converged()
+						if stop {
+							res.Converged = true
+							done = true
+						}
+						task.Bcast(doneTag, doneMsgSize, stop)
+					} else if task.Recv(0, doneTag).Data.(bool) {
+						done = true
+					}
+				}
+			}
+		})
+	}
+
+	if err := eng.Run(); err != nil {
+		return res, err
+	}
+	for _, t := range exitTimes {
+		if d := t.Sub(0); d > res.Completion {
+			res.Completion = d
+		}
+	}
+	for _, r := range lastResid {
+		res.Residual += r
+	}
+	if math.IsNaN(res.Residual) {
+		res.Residual = math.Inf(1)
+	}
+	st := net.Stats()
+	res.Messages = st.Frames
+	res.NetBytes = st.Bytes
+	res.QueueDelay = st.QueueDelay
+	res.WarpMean = warp.Mean()
+	res.WarpMax = warp.Max()
+
+	tasks := machine.TaskTelemetry()
+	var violations int64
+	for i := range tasks {
+		if i < len(coreStats) {
+			cs := coreStats[i]
+			tasks[i].GlobalReads = cs.GlobalReads
+			tasks[i].BlockedReads = cs.BlockedReads
+			tasks[i].BlockedSecs = cs.BlockedTime.Seconds()
+			tasks[i].ReadTimeouts = cs.ReadTimeouts
+			violations += cs.ReadTimeouts
+		}
+	}
+	res.Telemetry = &metrics.Telemetry{
+		Variant:             cfg.Mode.String(),
+		Age:                 cfg.Age,
+		CompletionSecs:      res.Completion.Seconds(),
+		Tasks:               tasks,
+		Net:                 st.Telemetry(eng.Now().Sub(0)),
+		Staleness:           staleHist.Summary(),
+		WarpMean:            res.WarpMean,
+		WarpMax:             res.WarpMax,
+		StalenessViolations: violations,
+	}
+	if rc != nil {
+		res.Telemetry.Races = rc.Telemetry()
+	}
+	if cfg.Series != nil {
+		serWarp := cfg.Series.Gauge("pvm.warp")
+		for w, v := range warpSeries.Windows() {
+			serWarp.Add(sim.Time(int64(w)*int64(100*sim.Millisecond)), v)
+		}
+		res.Telemetry.Series = cfg.Series.Summaries()
+	}
+	return res, nil
+}

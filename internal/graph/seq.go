@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"nscc/internal/sim"
+)
+
+// Algo selects the iterative kernel.
+type Algo int
+
+const (
+	// PageRank is the damped pull-based Jacobi PageRank iteration.
+	PageRank Algo = iota
+	// SSSP is Bellman-Ford-style single-source shortest paths from
+	// vertex 0, as a Jacobi min-relaxation.
+	SSSP
+)
+
+func (a Algo) String() string {
+	switch a {
+	case PageRank:
+		return "pagerank"
+	case SSSP:
+		return "sssp"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// ParseAlgo parses the String form.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "pagerank":
+		return PageRank, nil
+	case "sssp":
+		return SSSP, nil
+	}
+	return 0, fmt.Errorf("graph: unknown algorithm %q (want pagerank or sssp)", s)
+}
+
+// Algos is the workload family, in sweep order.
+var Algos = []Algo{PageRank, SSSP}
+
+// Damping is PageRank's damping factor.
+const Damping = 0.85
+
+// DiffEps is the documented differential tolerance: a partitioned run
+// under any coherence discipline must converge to within this
+// L-infinity distance of the sequential oracle. It sits three orders
+// of magnitude above DefaultEps/(1-Damping), the worst-case distance
+// of an approximate PageRank fixed point from the true one, so a pass
+// is meaningful and a termination bug (not float noise) is what fails
+// it. SSSP runs converge to the exact fixed point — min-relaxation
+// over identical operands is order-invariant — and are compared
+// against the same bound.
+const DiffEps = 1e-6
+
+// DefaultEps is the convergence threshold both runners default to:
+// a partition is "clean" when its per-superstep residual (L1 rank
+// delta for PageRank, relaxation count for SSSP) is at or below its
+// share of this bound.
+const DefaultEps = 1e-9
+
+// initValues returns the kernel's iteration-0 state vector: uniform
+// 1/n rank for PageRank; +Inf distances with source 0 at zero for SSSP.
+func initValues(algo Algo, n int) []float64 {
+	vals := make([]float64, n)
+	switch algo {
+	case PageRank:
+		r0 := 1 / float64(n)
+		for i := range vals {
+			vals[i] = r0
+		}
+	case SSSP:
+		for i := range vals {
+			vals[i] = math.Inf(1)
+		}
+		vals[0] = 0
+	}
+	return vals
+}
+
+// step computes one Jacobi superstep of algo over the owned vertex
+// range [lo, hi), reading the full-length view vector and writing
+// out[v-lo]. It returns the range's residual — the L1 delta for
+// PageRank, the count of relaxed vertices for SSSP — and the number of
+// vertices whose value changed (the frontier). Both runners and the
+// sequential oracle call this same function, so the per-vertex float
+// operation order is identical everywhere by construction; only the
+// freshness of the view differs between coherence disciplines.
+func step(g *Graph, algo Algo, view, out []float64, lo, hi int) (residual float64, frontier int64) {
+	switch algo {
+	case PageRank:
+		base := (1 - Damping) / float64(g.N)
+		for v := lo; v < hi; v++ {
+			sum := 0.0
+			for i := g.InOff[v]; i < g.InOff[v+1]; i++ {
+				src := g.InSrc[i]
+				if d := g.OutDeg[src]; d > 0 {
+					sum += view[src] / float64(d)
+				}
+			}
+			nv := base + Damping*sum
+			out[v-lo] = nv
+			if d := nv - view[v]; d != 0 {
+				frontier++
+				residual += math.Abs(d)
+			}
+		}
+	case SSSP:
+		for v := lo; v < hi; v++ {
+			nv := view[v]
+			for i := g.InOff[v]; i < g.InOff[v+1]; i++ {
+				if d := view[g.InSrc[i]] + g.InW[i]; d < nv {
+					nv = d
+				}
+			}
+			out[v-lo] = nv
+			if nv < view[v] {
+				frontier++
+				residual++
+			}
+		}
+	}
+	return residual, frontier
+}
+
+// SeqResult is one sequential oracle run: the converged state vector,
+// the superstep count, and the modeled serial execution time (the
+// speedup baseline).
+type SeqResult struct {
+	Values []float64
+	Iters  int64
+	Time   sim.Duration
+}
+
+// RunSequential runs algo on a single node to the global residual
+// bound eps (capped at maxIters supersteps) and models its serial time
+// as iters unjittered whole-graph supersteps. This is the
+// differential-test ground truth: the parallel runners' converged
+// vectors must match it within the package's documented epsilon.
+func RunSequential(g *Graph, algo Algo, eps float64, maxIters int64, calib Calibration) SeqResult {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	cur := initValues(algo, g.N)
+	next := make([]float64, g.N)
+	var iters int64
+	for iters = 0; iters < maxIters; iters++ {
+		residual, _ := step(g, algo, cur, next, 0, g.N)
+		cur, next = next, cur
+		if residual <= eps {
+			iters++
+			break
+		}
+	}
+	return SeqResult{
+		Values: cur,
+		Iters:  iters,
+		Time:   sim.Duration(iters) * calib.StepCost(g.N, g.M()),
+	}
+}
+
+// MaxDiff returns the L-infinity distance between two state vectors,
+// treating matching infinities (unreachable SSSP vertices) as equal.
+func MaxDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if math.IsInf(a[i], 1) && math.IsInf(b[i], 1) {
+			continue
+		}
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Generator/loader caps. Topology specs and edge lists arrive from
+// flags, files, and the fuzzer; a malformed or adversarial input must
+// fail with an error, never an allocation blow-up.
+const (
+	maxVertices = 1 << 20
+	maxEdges    = 1 << 22
+)
+
+// Ring returns the n-vertex directed ring i -> (i+1) mod n with unit
+// weights: the diameter-maximizing topology, where stale reads have the
+// longest propagation chains to disturb.
+func Ring(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: ring needs at least 2 vertices, have %d", n)
+	}
+	if n > maxVertices {
+		return nil, fmt.Errorf("graph: ring of %d vertices exceeds the %d cap", n, maxVertices)
+	}
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{From: i, To: (i + 1) % n, Weight: 1}
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Random returns a ring backbone (guaranteeing out-degree >= 1 and
+// reachability from every source) plus m random non-duplicate chords
+// with weights drawn from [1, 10), deterministic in seed.
+func Random(n, m int, seed int64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: random graph needs at least 2 vertices, have %d", n)
+	}
+	if n > maxVertices || m < 0 || m > maxEdges {
+		return nil, fmt.Errorf("graph: random graph size n=%d m=%d out of range", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, n+m)
+	have := make(map[int64]bool, n+m)
+	key := func(u, v int) int64 { return int64(u)*int64(n) + int64(v) }
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{From: i, To: (i + 1) % n, Weight: 1})
+		have[key(i, (i+1)%n)] = true
+	}
+	// Chords are drawn with rejection; the attempt budget bounds the
+	// loop on dense requests instead of spinning on a full graph.
+	attempts := 20*m + 100
+	for added := 0; added < m && attempts > 0; attempts-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || have[key(u, v)] {
+			continue
+		}
+		have[key(u, v)] = true
+		edges = append(edges, Edge{From: u, To: v, Weight: 1 + 9*rng.Float64()})
+		added++
+	}
+	return New(n, edges)
+}
+
+// Clustered returns k dense clusters arranged on a cluster-level ring:
+// each cluster is an intra-cluster ring plus n/k random intra chords,
+// and consecutive clusters are joined by a single forward edge. The
+// community structure concentrates traffic inside partitions and makes
+// the few inter-cluster edges the staleness-critical paths.
+func Clustered(n, k int, seed int64) (*Graph, error) {
+	if k < 1 || n < 2*k {
+		return nil, fmt.Errorf("graph: clustered graph needs n >= 2k, have n=%d k=%d", n, k)
+	}
+	if n > maxVertices {
+		return nil, fmt.Errorf("graph: clustered graph of %d vertices exceeds the %d cap", n, maxVertices)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lo := partBounds(n, k)
+	edges := make([]Edge, 0, 2*n)
+	have := make(map[int64]bool, 2*n)
+	key := func(u, v int) int64 { return int64(u)*int64(n) + int64(v) }
+	add := func(u, v int, w float64) {
+		if u == v || have[key(u, v)] {
+			return
+		}
+		have[key(u, v)] = true
+		edges = append(edges, Edge{From: u, To: v, Weight: w})
+	}
+	for c := 0; c < k; c++ {
+		base, size := lo[c], lo[c+1]-lo[c]
+		for i := 0; i < size; i++ {
+			add(base+i, base+(i+1)%size, 1)
+		}
+		for tries := 0; tries < size; tries++ {
+			u, v := base+rng.Intn(size), base+rng.Intn(size)
+			add(u, v, 1+4*rng.Float64())
+		}
+		// The inter-cluster bridge: last vertex of c to first of c+1.
+		next := (c + 1) % k
+		add(lo[c+1]-1, lo[next], 5+5*rng.Float64())
+	}
+	return New(n, edges)
+}
+
+// ParseTopoSpec builds a graph from a compact spec string, the format
+// the -topo flag and the sweep use:
+//
+//	ring:N
+//	random:n=N,m=M,seed=S
+//	clustered:n=N,k=K,seed=S
+//
+// m, k, and seed have defaults (m=2n, k=4, seed=1); n is required for
+// the keyed forms.
+func ParseTopoSpec(spec string) (*Graph, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	kind = strings.TrimSpace(kind)
+	switch kind {
+	case "ring":
+		n, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, fmt.Errorf("graph: ring spec %q: %v", spec, err)
+		}
+		return Ring(n)
+	case "random", "clustered":
+		n, m, k, seed := 0, -1, 4, int64(1)
+		if rest == "" {
+			return nil, fmt.Errorf("graph: spec %q missing parameters", spec)
+		}
+		for _, kv := range strings.Split(rest, ",") {
+			name, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("graph: spec %q: parameter %q is not key=value", spec, kv)
+			}
+			x, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: spec %q: parameter %q: %v", spec, kv, err)
+			}
+			switch strings.TrimSpace(name) {
+			case "n":
+				if x > maxVertices {
+					return nil, fmt.Errorf("graph: spec %q: n=%d exceeds the %d cap", spec, x, maxVertices)
+				}
+				n = int(x)
+			case "m":
+				if x > maxEdges {
+					return nil, fmt.Errorf("graph: spec %q: m=%d exceeds the %d cap", spec, x, maxEdges)
+				}
+				m = int(x)
+			case "k":
+				if x > maxVertices {
+					return nil, fmt.Errorf("graph: spec %q: k=%d exceeds the %d cap", spec, x, maxVertices)
+				}
+				k = int(x)
+			case "seed":
+				seed = x
+			default:
+				return nil, fmt.Errorf("graph: spec %q: unknown parameter %q", spec, name)
+			}
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("graph: spec %q needs n", spec)
+		}
+		if kind == "random" {
+			if m < 0 {
+				m = 2 * n
+			}
+			return Random(n, m, seed)
+		}
+		return Clustered(n, k, seed)
+	default:
+		return nil, fmt.Errorf("graph: unknown topology kind %q (want ring, random, or clustered)", kind)
+	}
+}
+
+// ParseEdgeList parses the plain-text edge-list format:
+//
+//	# comment
+//	n <vertices>
+//	<from> <to> [weight]
+//
+// The "n" header must precede the edges; weight defaults to 1. The
+// same validation as New applies: indices in range, no self-loops, no
+// duplicate edges, weights positive and finite (NaN, Inf, zero, and
+// negative weights are rejected).
+func ParseEdgeList(data []byte) (*Graph, error) {
+	n := -1
+	var edges []Edge
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if n < 0 {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("graph: line %d: expected header \"n <vertices>\", got %q", ln+1, line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: vertex count: %v", ln+1, err)
+			}
+			if v <= 0 || v > maxVertices {
+				return nil, fmt.Errorf("graph: line %d: vertex count %d out of range (0, %d]", ln+1, v, maxVertices)
+			}
+			n = v
+			continue
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected \"from to [weight]\", got %q", ln+1, line)
+		}
+		from, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: from: %v", ln+1, err)
+		}
+		to, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: to: %v", ln+1, err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: weight: %v", ln+1, err)
+			}
+		}
+		if len(edges) >= maxEdges {
+			return nil, fmt.Errorf("graph: more than %d edges", maxEdges)
+		}
+		edges = append(edges, Edge{From: from, To: to, Weight: w})
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: empty edge list (missing \"n <vertices>\" header)")
+	}
+	return New(n, edges)
+}

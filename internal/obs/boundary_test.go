@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"nscc/internal/metrics"
+)
+
+// TestMetricsLabelEscaping: sweep and run names containing quotes,
+// backslashes, and newlines must arrive on /metrics as legal
+// OpenMetrics label values (Go's %q escaping), never as raw bytes that
+// would corrupt the exposition.
+func TestMetricsLabelEscaping(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	hostile := "we\"ird\\name\nwith newline"
+	s.SweepStart(hostile, 3)
+	s.CellDone(hostile)
+	s.PublishTelemetry(hostile, &metrics.Telemetry{Variant: "sync", CompletionSecs: 1.5})
+
+	body, _ := get(t, "http://"+s.Addr()+"/metrics")
+	checkOpenMetrics(t, body)
+	if strings.Contains(body, "with newline") {
+		// The raw newline would have split a sample line in two; the
+		// structural check above would already have caught it, but be
+		// explicit about the property.
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasSuffix(line, "with newline") {
+				t.Fatalf("unescaped newline in label: %q", line)
+			}
+		}
+	}
+	if !strings.Contains(body, `\"ird\\name\nwith`) {
+		t.Fatalf("expected escaped label value in exposition:\n%s", body)
+	}
+}
+
+// TestStatusZeroCells: a sweep that starts with zero cells (an empty
+// topology list, a zero-trial profile) renders a progress line without
+// dividing by zero, and a finished zero-cell sweep shows done.
+func TestStatusZeroCells(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.SweepStart("empty", 0)
+	body, _ := get(t, "http://"+s.Addr()+"/")
+	if !strings.Contains(body, "empty") || !strings.Contains(body, "0/0 (0%)") {
+		t.Fatalf("zero-cell sweep missing or malformed:\n%s", body)
+	}
+	if strings.Contains(body, "ETA") {
+		t.Fatal("zero-cell sweep shows an ETA")
+	}
+
+	s.SweepDone("empty")
+	body, _ = get(t, "http://"+s.Addr()+"/")
+	if !strings.Contains(body, "done") {
+		t.Fatalf("finished zero-cell sweep not marked done:\n%s", body)
+	}
+}
+
+// TestStatusETA: an in-flight sweep with completed cells shows an ETA
+// and a throughput sparkline; publishing again replaces rather than
+// duplicates telemetry.
+func TestStatusETA(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.SweepStart("inflight", 10)
+	s.CellDone("inflight")
+	s.CellDone("inflight")
+	body, _ := get(t, "http://"+s.Addr()+"/")
+	if !strings.Contains(body, "ETA") {
+		t.Fatalf("in-flight sweep missing ETA:\n%s", body)
+	}
+	if !strings.Contains(body, "cells/s") {
+		t.Fatalf("in-flight sweep missing throughput sparkline:\n%s", body)
+	}
+
+	// Restarting the same sweep resets progress instead of duplicating
+	// the entry.
+	s.SweepStart("inflight", 4)
+	body, _ = get(t, "http://"+s.Addr()+"/")
+	if got := strings.Count(body, "inflight"); got != 1 {
+		t.Fatalf("sweep listed %d times after restart, want 1", got)
+	}
+	if !strings.Contains(body, "0/4") {
+		t.Fatalf("restarted sweep did not reset progress:\n%s", body)
+	}
+}
+
+// TestPublishTelemetryReplace: nil snapshots are ignored; re-publishing
+// a name replaces the snapshot without growing the run list.
+func TestPublishTelemetryReplace(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.PublishTelemetry("run", nil) // ignored
+	s.PublishTelemetry("run", &metrics.Telemetry{Variant: "sync", CompletionSecs: 1})
+	s.PublishTelemetry("run", &metrics.Telemetry{Variant: "async", CompletionSecs: 2})
+	body, _ := get(t, "http://"+s.Addr()+"/")
+	if got := strings.Count(body, "run run "); got != 1 {
+		t.Fatalf("run listed %d times after republish, want 1", got)
+	}
+	if !strings.Contains(body, "async") || strings.Contains(body, "(sync") {
+		t.Fatalf("republish did not replace the snapshot:\n%s", body)
+	}
+}
+
+// TestStatusNotFound: non-root paths 404 instead of rendering status.
+func TestStatusNotFound(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStartBadAddr: an unbindable address errors instead of panicking.
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("256.256.256.256:99999"); err == nil {
+		t.Fatal("Start on an impossible address did not error")
+	}
+}
