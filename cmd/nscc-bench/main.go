@@ -74,6 +74,7 @@ func main() {
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 		lossProb = flag.Float64("loss", 0, "override the Ethernet model's per-frame loss probability")
 		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker (adds race columns to the age sweep)")
+		raceOut  = flag.String("simrace-out", "", "write the age sweep's merged per-location race report JSON to this file (requires -simrace and -exp agesweep; feed it to nscc-lint -simrace-report)")
 		profOut  = flag.String("profile-out", "", "write host pprof profiles of the run to PREFIX.cpu.pprof and PREFIX.heap.pprof (profile-guided optimization input; results are unchanged)")
 		httpAddr = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
 	)
@@ -134,6 +135,10 @@ func main() {
 	}
 	opts.LossProb = *lossProb
 	opts.SimRace = *simRace
+	if *raceOut != "" && !*simRace {
+		fmt.Fprintln(os.Stderr, "-simrace-out requires -simrace")
+		os.Exit(2)
+	}
 	if *resume && *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "-resume requires -cache-dir")
 		os.Exit(2)
@@ -312,8 +317,20 @@ func main() {
 			if len(opts.Procs) > 0 {
 				p = opts.Procs[len(opts.Procs)-1]
 			}
-			_, err := exper.AgeSweep(os.Stdout, opts, fn, p, loads)
-			return err
+			res, err := exper.AgeSweep(os.Stdout, opts, fn, p, loads)
+			if err != nil {
+				return err
+			}
+			if *raceOut != "" {
+				totals := metrics.TotalsFromLocations(res.RaceLocations)
+				rep := metrics.RaceReport{Schema: metrics.RaceReportSchema,
+					Totals: totals, Locations: res.RaceLocations}
+				if err := traceio.WriteMetrics(*raceOut, rep); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *raceOut)
+			}
+			return nil
 		})
 	}
 	// -exp micro runs only the standard DES microbenchmarks — the

@@ -43,9 +43,15 @@ func main() {
 		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
 		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
 		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
+		raceOut  = flag.String("simrace-out", "", "write the per-location race report JSON to this file (requires -simrace; feed it to nscc-lint -simrace-report)")
 		httpAddr = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
 	)
 	flag.Parse()
+
+	if *raceOut != "" && !*simRace {
+		fmt.Fprintln(os.Stderr, "-simrace-out requires -simrace")
+		os.Exit(2)
+	}
 
 	var srv *obs.Server
 	if *httpAddr != "" {
@@ -153,6 +159,13 @@ func main() {
 	if rt := res.Telemetry.Races; rt != nil {
 		fmt.Printf("  simrace: reads=%d synchronized=%d tolerated-stale=%d unbounded=%d max-lag=%d\n",
 			rt.Reads, rt.Synchronized, rt.ToleratedStale, rt.Unbounded, rt.MaxLag)
+	}
+	if *raceOut != "" {
+		if err := traceio.WriteMetrics(*raceOut, res.Telemetry.RaceReport()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *raceOut)
 	}
 	if err := traceio.WriteTrace(*trOut, rec); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,63 +1,124 @@
 // Command nscc-lint enforces the repository's determinism contract: it
 // runs the internal/analysis analyzer suite (wallclock, globalrand,
-// rawconc, maporder) over the given package patterns and exits nonzero
-// if any finding survives the //nscc:<analyzer> directives.
+// rawconc, maporder, staleflow, commute, detguard, unuseddirective)
+// over the given package patterns and exits nonzero if any finding
+// survives the //nscc:<analyzer> directives.
 //
 // Usage:
 //
-//	nscc-lint [-json] [packages]     (default ./...)
+//	nscc-lint [-C dir] [-json] [-simrace-report race.json] [packages]
 //
-// Run it from inside the module: the source importer resolves
-// module-internal imports relative to the working directory.
+// The default pattern is ./... relative to the module directory. Run
+// it from inside the module (or point -C at it): the source importer
+// resolves module-internal imports relative to the working directory.
+//
+// With -simrace-report, the per-location race classification a run
+// wrote under -simrace-out is cross-checked against the static
+// //nscc:tolerates-stale loc=<name> discharges: a location that raced
+// with no staleness bound in force and carries no discharge is a
+// finding.
+//
+// Exit status: 0 no findings, 1 findings reported, 2 the packages or
+// the report could not be loaded.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nscc/internal/analysis"
 )
 
+// lintSchema versions the -json output envelope.
+const lintSchema = "nscc-lint/v1"
+
+// lintReport is the -json output: a versioned envelope so consumers
+// can detect shape changes, findings never null.
+type lintReport struct {
+	Schema   string                `json:"schema"`
+	Findings []analysis.Diagnostic `json:"findings"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
-	list := flag.Bool("analyzers", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parses args, lints, writes the
+// report to stdout and errors to stderr, and returns the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nscc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit a versioned JSON report instead of text")
+	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	dir := fs.String("C", "", "change to this directory before loading packages")
+	raceReport := fs.String("simrace-report", "",
+		"cross-check this -simrace-out race report against the //nscc:tolerates-stale loc= discharges")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	pkgs, err := analysis.LoadPackages("", flag.Args())
+	if *dir != "" {
+		// The source importer resolves module-internal imports relative
+		// to the process working directory, so -C must really chdir.
+		prev, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := os.Chdir(*dir); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer os.Chdir(prev)
+	}
+
+	pkgs, err := analysis.LoadPackages("", fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	diags := analysis.RunAnalyzers(pkgs, analysis.All())
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
+	if *raceReport != "" {
+		rep, err := analysis.LoadRaceReport(*raceReport)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		diags = append(diags, analysis.ReconcileRaceReport(pkgs, rep, *raceReport)...)
+	}
+
+	if *jsonOut {
+		rep := lintReport{Schema: lintSchema, Findings: diags}
+		if rep.Findings == nil {
+			rep.Findings = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "nscc-lint: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "nscc-lint: %d finding(s)\n", len(diags))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nscc/internal/analysis"
+)
+
+// lint invokes run() against a testdata module, capturing the streams.
+// Tests must not run in parallel: -C chdirs the process.
+func lint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func abs(t *testing.T, rel string) string {
+	t.Helper()
+	p, err := filepath.Abs(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	code, stdout, stderr := lint(t, "-C", "testdata/clean", "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run wrote findings:\n%s", stdout)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, stdout, stderr := lint(t, "-C", "testdata/dirty", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "wallclock") {
+		t.Errorf("stdout lacks the wallclock finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr lacks the findings summary:\n%s", stderr)
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	code, stdout, stderr := lint(t, "-C", "testdata/broken", "./...")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stderr == "" {
+		t.Error("load error produced no stderr diagnostics")
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	code, _, _ := lint(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestJSONEnvelope(t *testing.T) {
+	for _, tc := range []struct {
+		dir      string
+		code     int
+		findings int
+	}{
+		{"testdata/clean", 0, 0},
+		{"testdata/dirty", 1, 1},
+	} {
+		code, stdout, stderr := lint(t, "-C", tc.dir, "-json", "./...")
+		if code != tc.code {
+			t.Fatalf("%s: exit %d, want %d\nstderr:\n%s", tc.dir, code, tc.code, stderr)
+		}
+		var rep lintReport
+		if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", tc.dir, err, stdout)
+		}
+		if rep.Schema != lintSchema {
+			t.Errorf("%s: schema %q, want %q", tc.dir, rep.Schema, lintSchema)
+		}
+		if rep.Findings == nil {
+			t.Errorf("%s: findings is null, want []", tc.dir)
+		}
+		if len(rep.Findings) != tc.findings {
+			t.Errorf("%s: %d findings, want %d: %v", tc.dir, len(rep.Findings), tc.findings, rep.Findings)
+		}
+	}
+}
+
+func TestAnalyzersListing(t *testing.T) {
+	code, stdout, _ := lint(t, "-analyzers")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("listing lacks analyzer %s:\n%s", a.Name, stdout)
+		}
+	}
+}
+
+func TestReconcileUndischargedLocationFails(t *testing.T) {
+	rep := abs(t, "testdata/race_hot.json")
+	code, stdout, stderr := lint(t, "-C", "testdata/tolerant", "-simrace-report", rep, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "reconcile") || !strings.Contains(stdout, `"hot"`) {
+		t.Errorf("stdout lacks the reconcile finding for location hot:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "loc=hot") {
+		t.Errorf("finding does not suggest the discharging annotation:\n%s", stdout)
+	}
+}
+
+func TestReconcileDischargedLocationPasses(t *testing.T) {
+	rep := abs(t, "testdata/race_cold.json")
+	code, stdout, stderr := lint(t, "-C", "testdata/tolerant", "-simrace-report", rep, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+func TestReconcileSchemaMismatchExitsTwo(t *testing.T) {
+	rep := abs(t, "testdata/race_badschema.json")
+	code, _, stderr := lint(t, "-C", "testdata/tolerant", "-simrace-report", rep, "./...")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "schema") {
+		t.Errorf("stderr does not explain the schema mismatch:\n%s", stderr)
+	}
+}
+
+func TestReconcileMissingReportExitsTwo(t *testing.T) {
+	code, _, _ := lint(t, "-C", "testdata/tolerant", "-simrace-report", abs(t, "testdata/no_such.json"), "./...")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,4 @@
+// Package broken does not parse: the exit-2 fixture.
+package broken
+
+func Oops( {

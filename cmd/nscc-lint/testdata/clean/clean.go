@@ -1,0 +1,5 @@
+// Package clean holds no determinism violations: the exit-0 fixture.
+package clean
+
+// Add is pure arithmetic; nothing here trips any analyzer.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,7 @@
+// Package dirty trips the wallclock analyzer: the exit-1 fixture.
+package dirty
+
+import "time"
+
+// Stamp reads the host clock, which the determinism contract forbids.
+func Stamp() int64 { return time.Now().UnixNano() }

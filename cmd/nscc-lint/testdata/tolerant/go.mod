@@ -1,0 +1,3 @@
+module tolerantmod
+
+go 1.22

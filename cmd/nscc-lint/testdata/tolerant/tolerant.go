@@ -1,0 +1,16 @@
+// Package tolerant carries one per-location staleness discharge: the
+// reconciliation fixtures run against it with race reports naming
+// either the discharged location ("cold", passes) or an undischarged
+// one ("hot", fails).
+package tolerant
+
+//nscc:tolerates-stale loc=cold -- order-free scratch aggregation; stale reads only delay convergence
+
+// Sum is order-free accumulation, the shape that tolerates staleness.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -6,13 +6,19 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // An Analyzer is one named check over a type-checked package.
 type Analyzer struct {
 	Name string // short lower-case identifier; also the directive suffix
 	Doc  string // one-paragraph description, shown by nscc-lint -help
+
+	// Directive, if non-empty, overrides the suppression-directive
+	// suffix (default Name): staleflow findings, for instance, are
+	// discharged by //nscc:tolerates-stale rather than //nscc:staleflow,
+	// because the annotation is an assertion about the flow, not a
+	// request to look away.
+	Directive string
 
 	// Match, if non-nil, restricts which packages the driver applies
 	// the analyzer to, by import path. Nil applies it everywhere.
@@ -24,6 +30,15 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
+// DirectiveName returns the suffix of the //nscc: directive that
+// suppresses this analyzer's findings.
+func (a *Analyzer) DirectiveName() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
 // A Pass carries one analyzer's view of one type-checked package and
 // collects its diagnostics.
 type Pass struct {
@@ -33,10 +48,20 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole loaded program (every package of the lint run),
+	// for interprocedural analyzers. Always non-nil: single-package
+	// fixture runs see a one-package program.
+	Prog *Program
+
 	diags []Diagnostic
 	// suppress maps filename -> set of lines bearing an
-	// //nscc:<analyzer> directive for this pass's analyzer.
+	// //nscc:<directive> comment for this pass's analyzer.
 	suppress map[string]map[int]bool
+
+	// OnSuppress, if set, observes every finding a directive swallowed
+	// (the unuseddirective probe uses it to learn which directives pull
+	// their weight). The position is the suppressed finding's.
+	OnSuppress func(pos token.Position)
 }
 
 // A Diagnostic is one finding, positioned and attributed.
@@ -58,35 +83,42 @@ func (d Diagnostic) String() string {
 }
 
 // NewPass prepares a pass of one analyzer over one package, including
-// the directive map that implements //nscc:<name> suppression.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+// the directive map that implements //nscc:<name> suppression. prog
+// may be nil, in which case a one-package program is built on the spot
+// (fixture convenience); repository drivers share one Program across
+// passes.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, prog *Program) *Pass {
 	p := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info,
-		suppress: map[string]map[int]bool{}}
-	directive := "//nscc:" + a.Name
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
-					pos := fset.Position(c.Pos())
-					lines := p.suppress[pos.Filename]
-					if lines == nil {
-						lines = map[int]bool{}
-						p.suppress[pos.Filename] = lines
-					}
-					lines[pos.Line] = true
-				}
-			}
+		Prog: prog, suppress: map[string]map[int]bool{}}
+	if p.Prog == nil {
+		p.Prog = NewProgram([]*Package{{
+			ImportPath: pkg.Path(), Fset: fset, Files: files, Types: pkg, Info: info,
+		}})
+	}
+	name := a.DirectiveName()
+	for _, pc := range collectDirectives(fset, files) {
+		if pc.dir == nil || !pc.dir.Has(name) {
+			continue
 		}
+		lines := p.suppress[pc.pos.Filename]
+		if lines == nil {
+			lines = map[int]bool{}
+			p.suppress[pc.pos.Filename] = lines
+		}
+		lines[pc.pos.Line] = true
 	}
 	return p
 }
 
-// Reportf records one finding at pos unless an //nscc:<analyzer>
-// directive on the same line or the line immediately above allows it.
+// Reportf records one finding at pos unless an //nscc:<directive>
+// comment on the same line or the line immediately above allows it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	if lines := p.suppress[position.Filename]; lines != nil {
 		if lines[position.Line] || lines[position.Line-1] {
+			if p.OnSuppress != nil {
+				p.OnSuppress(position)
+			}
 			return
 		}
 	}
@@ -109,21 +141,38 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 // Diagnostics returns the findings reported so far.
 func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 
-// All returns the repository's analyzer suite.
+// All returns the repository's analyzer suite: the four syntactic
+// checks, the three interprocedural dataflow analyzers, and the
+// directive hygiene check.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Globalrand, Rawconc, Maporder}
+	return []*Analyzer{
+		Wallclock, Globalrand, Rawconc, Maporder,
+		Staleflow, Commute, Detguard, Unuseddirective,
+	}
+}
+
+// ByName returns the analyzer with the given name from All, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
 }
 
 // RunAnalyzers applies every applicable analyzer to every loaded
-// package and returns the merged findings in position order.
+// package and returns the merged findings in position order. One
+// Program (call graph + function summaries) is shared by every pass.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.ImportPath) {
 				continue
 			}
-			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, prog)
 			a.Run(pass)
 			diags = append(diags, pass.Diagnostics()...)
 		}

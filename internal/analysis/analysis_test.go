@@ -28,6 +28,22 @@ func TestMaporder(t *testing.T) {
 	analysistest.Run(t, fixture("maporder"), analysis.Maporder)
 }
 
+func TestStaleflow(t *testing.T) {
+	analysistest.Run(t, fixture("staleflow"), analysis.Staleflow)
+}
+
+func TestCommute(t *testing.T) {
+	analysistest.Run(t, fixture("commute"), analysis.Commute)
+}
+
+func TestDetguard(t *testing.T) {
+	analysistest.Run(t, fixture("detguard"), analysis.Detguard)
+}
+
+func TestUnuseddirective(t *testing.T) {
+	analysistest.Run(t, fixture("unuseddirective"), analysis.Unuseddirective)
+}
+
 // TestRawconcScope pins the packages the rawconc analyzer polices: the
 // simulated-process layers are in scope; the coroutine substrate
 // (internal/sim) and the host worker pool (internal/runner) are not.
@@ -61,8 +77,8 @@ func TestRawconcScope(t *testing.T) {
 // job both iterate All()).
 func TestAllAnalyzers(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 4 {
-		t.Fatalf("expected 4 analyzers, got %d", len(all))
+	if len(all) != 8 {
+		t.Fatalf("expected 8 analyzers, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

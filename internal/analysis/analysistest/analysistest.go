@@ -62,7 +62,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatalf("fixture %s does not typecheck: %v", dir, err)
 	}
 
-	pass := analysis.NewPass(a, fset, files, pkg, info)
+	pass := analysis.NewPass(a, fset, files, pkg, info, nil)
 	a.Run(pass)
 	diags := pass.Diagnostics()
 

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PrimKind classifies a determinism-relevant primitive use inside a
+// function body: the same three families the syntactic analyzers police
+// directly.
+type PrimKind int
+
+const (
+	// PrimWallclock is a package time wall-clock observation (the
+	// wallclock analyzer's banned set).
+	PrimWallclock PrimKind = iota
+	// PrimGlobalrand is a math/rand global-source draw or a
+	// constant-literal NewSource seed.
+	PrimGlobalrand
+	// PrimRawconc is raw Go concurrency: go statements, channel
+	// operations, select, package sync/atomic references.
+	PrimRawconc
+)
+
+func (k PrimKind) String() string {
+	switch k {
+	case PrimWallclock:
+		return "wallclock"
+	case PrimGlobalrand:
+		return "globalrand"
+	case PrimRawconc:
+		return "rawconc"
+	default:
+		return fmt.Sprintf("PrimKind(%d)", int(k))
+	}
+}
+
+// A PrimUse is one direct primitive use inside a function body.
+type PrimUse struct {
+	Kind PrimKind
+	Desc string // e.g. "time.Now", "go statement", "sync/atomic.AddInt64"
+	Pos  token.Pos
+}
+
+// A CallSite is one statically resolved call inside a function body
+// (method calls resolve to the method's *types.Func; calls through
+// function values and interfaces do not resolve and are absent).
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// A VarUse is one read or write of a package-level variable inside a
+// function body.
+type VarUse struct {
+	Var   *types.Var
+	Write bool
+	Pos   token.Pos
+}
+
+// FuncInfo is the call-graph node of one declared function or method
+// whose body was loaded.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	Calls       []CallSite
+	DirectPrims []PrimUse
+	GlobalVars  []VarUse
+}
+
+// Program is the whole-program view of one lint run: every loaded
+// package, an index from function objects to their declarations, and a
+// scratch cache for interprocedural summaries shared across passes.
+type Program struct {
+	Pkgs  []*Package
+	funcs map[*types.Func]*FuncInfo
+
+	// Cache holds analyzer-computed interprocedural summaries, keyed by
+	// analyzer name, so per-package passes share one closure instead of
+	// recomputing it P times. The driver is single-threaded.
+	Cache map[string]interface{}
+}
+
+// NewProgram indexes the loaded packages into a call graph.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, funcs: map[*types.Func]*FuncInfo{}, Cache: map[string]interface{}{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				scanBody(fi, pkg.Info)
+				prog.funcs[obj] = fi
+			}
+		}
+	}
+	return prog
+}
+
+// FuncOf returns the call-graph node of obj, or nil when its body was
+// not part of the loaded packages (stdlib, interface methods, function
+// values).
+func (prog *Program) FuncOf(obj *types.Func) *FuncInfo { return prog.funcs[obj] }
+
+// Funcs calls fn for every loaded function, in unspecified order.
+// Consumers that produce ordered output must sort it themselves (the
+// analyzers aggregate into maps and sets, so no order escapes).
+func (prog *Program) Funcs(fn func(*FuncInfo)) {
+	for _, fi := range prog.funcs {
+		fn(fi)
+	}
+}
+
+// funcsOf returns the loaded functions of one package in source order
+// (deterministic iteration for reporting passes).
+func funcsOf(prog *Program, pkg *types.Package) []*FuncInfo {
+	var out []*FuncInfo
+	prog.Funcs(func(fi *FuncInfo) {
+		if fi.Pkg.Types == pkg {
+			out = append(out, fi)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// scanBody fills a FuncInfo's call sites, direct primitive uses, and
+// package-level variable accesses. Function-literal bodies nested in
+// the declaration are charged to the declaring function: a closure is
+// part of its host's behavior.
+func scanBody(fi *FuncInfo, info *types.Info) {
+	// Assignment targets are visited before their ident children; the
+	// set keeps an assigned global from also being recorded as a read.
+	writeIdents := map[*ast.Ident]bool{}
+	recordWrite := func(lhs ast.Expr) {
+		id, ok := rootIdent(lhs)
+		if !ok {
+			return
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && isPackageLevel(v) {
+			writeIdents[id] = true
+			fi.GlobalVars = append(fi.GlobalVars, VarUse{Var: v, Write: true, Pos: lhs.Pos()})
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := calleeOf(info, n); callee != nil {
+				fi.Calls = append(fi.Calls, CallSite{Callee: callee, Pos: n.Pos()})
+			}
+		case *ast.GoStmt:
+			fi.DirectPrims = append(fi.DirectPrims, PrimUse{PrimRawconc, "go statement", n.Pos()})
+		case *ast.SendStmt:
+			fi.DirectPrims = append(fi.DirectPrims, PrimUse{PrimRawconc, "channel send", n.Pos()})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fi.DirectPrims = append(fi.DirectPrims, PrimUse{PrimRawconc, "channel receive", n.Pos()})
+			}
+		case *ast.SelectStmt:
+			fi.DirectPrims = append(fi.DirectPrims, PrimUse{PrimRawconc, "select", n.Pos()})
+		case *ast.SelectorExpr:
+			obj := info.Uses[n.Sel]
+			switch path := pkgPathOf(obj); {
+			case path == "time" && wallclockBanned[obj.Name()]:
+				fi.DirectPrims = append(fi.DirectPrims, PrimUse{PrimWallclock, "time." + obj.Name(), n.Pos()})
+			case isMathRand(path):
+				if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && globalrandDraws[fn.Name()] {
+					fi.DirectPrims = append(fi.DirectPrims, PrimUse{PrimGlobalrand, "rand." + fn.Name(), n.Pos()})
+				}
+			case path == "sync" || path == "sync/atomic":
+				if id, ok := n.X.(*ast.Ident); ok {
+					if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+						fi.DirectPrims = append(fi.DirectPrims, PrimUse{PrimRawconc, path + "." + obj.Name(), n.Pos()})
+					}
+				}
+			}
+		case *ast.Ident:
+			if writeIdents[n] {
+				return true
+			}
+			if v, ok := info.Uses[n].(*types.Var); ok && isPackageLevel(v) {
+				fi.GlobalVars = append(fi.GlobalVars, VarUse{Var: v, Pos: n.Pos()})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				recordWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			recordWrite(n.X)
+		}
+		return true
+	})
+}
+
+// calleeOf statically resolves a call expression's target function or
+// method (nil for builtins, conversions, function values, interface
+// dispatch).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// rootIdent peels selectors, indexes, stars, and parens off an
+// assignable expression down to its base identifier: a write to
+// x.f[i].g roots at x.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v, true
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// commuteMarker is the directive name that asserts a function is a
+// commutative merge: applying it with operand batches in any order
+// yields the same state. The commute analyzer verifies every marked
+// function is commutative-*shaped*; the simrace reconciliation accepts
+// the marker as a tolerance discharge.
+const commuteMarker = "commutative"
+
+// commutePureStdlib lists standard-library packages whose functions are
+// value-pure: results depend only on arguments, no hidden state, no
+// side effects beyond their operands. Calls into them are allowed
+// inside commutative merges.
+var commutePureStdlib = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+	"cmp":       true,
+	"sort":      true,
+	"slices":    true,
+	"strings":   true,
+	"strconv":   true,
+}
+
+// commutePureFmt lists the package fmt functions that only format (no
+// I/O). fmt itself is not whitelisted wholesale: Println in a merge is
+// a side effect.
+var commutePureFmt = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// commutePurity memoizes the purity closure: "" means pure (or
+// in-progress, the optimistic fixpoint for recursive helpers); a
+// non-empty string is the first impurity witness found.
+type commutePurity map[*types.Func]*string
+
+func commutePurityCache(prog *Program) commutePurity {
+	if c, ok := prog.Cache["commute-purity"]; ok {
+		return c.(commutePurity)
+	}
+	c := commutePurity{}
+	prog.Cache["commute-purity"] = c
+	return c
+}
+
+// commuteCallAllowed classifies one call site inside a commutative
+// merge (or a helper it reaches). It returns "" when the call is
+// allowed and an explanation otherwise.
+func commuteCallAllowed(prog *Program, annotated map[*types.Func]bool, callee *types.Func) string {
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+		if _, ok := recv.Type().Underlying().(*types.Interface); ok {
+			// Interface dispatch cannot be resolved statically; this is
+			// the analyzer's documented soundness hole.
+			return ""
+		}
+	}
+	path := pkgPathOf(callee)
+	if commutePureStdlib[path] {
+		return ""
+	}
+	if path == "fmt" && commutePureFmt[callee.Name()] {
+		return ""
+	}
+	if annotated[callee] {
+		return "" // verified commutative in its own right
+	}
+	fi := prog.FuncOf(callee)
+	if fi == nil {
+		return "calls " + callee.Name() + ", whose body is outside the analyzed program"
+	}
+	if why := commuteFuncPure(prog, annotated, fi); why != "" {
+		return "calls " + callee.Name() + ", which " + why
+	}
+	return ""
+}
+
+// commuteFuncPure checks (memoized) that a helper reached from a
+// commutative merge is pure over its operands: no determinism
+// primitives, no package-level variable access, and only allowed
+// calls. Receiver and parameter mutation is fine — operands are the
+// merge's domain.
+func commuteFuncPure(prog *Program, annotated map[*types.Func]bool, fi *FuncInfo) string {
+	c := commutePurityCache(prog)
+	if why, ok := c[fi.Obj]; ok {
+		if why == nil {
+			return ""
+		}
+		return *why
+	}
+	c[fi.Obj] = nil // optimistic: recursion through this helper is pure
+	fail := func(why string) string {
+		c[fi.Obj] = &why
+		return why
+	}
+	for _, pu := range fi.DirectPrims {
+		return fail("uses " + pu.Desc)
+	}
+	for _, gv := range fi.GlobalVars {
+		verb := "reads"
+		if gv.Write {
+			verb = "writes"
+		}
+		return fail(verb + " package-level var " + gv.Var.Name())
+	}
+	for _, cs := range fi.Calls {
+		if why := commuteCallAllowed(prog, annotated, cs.Callee); why != "" {
+			return fail(why)
+		}
+	}
+	return ""
+}
+
+// commuteAnnotated maps every function of the program bearing an
+// //nscc:commutative marker (same line as the func keyword, or the
+// line immediately above).
+func commuteAnnotated(prog *Program) map[*types.Func]bool {
+	key := "commute-annotated"
+	if c, ok := prog.Cache[key]; ok {
+		return c.(map[*types.Func]bool)
+	}
+	out := map[*types.Func]bool{}
+	for _, pkg := range prog.Pkgs {
+		lines := map[string]map[int]bool{}
+		for _, pc := range collectDirectives(pkg.Fset, pkg.Files) {
+			if pc.dir == nil || !pc.dir.Has(commuteMarker) {
+				continue
+			}
+			if lines[pc.pos.Filename] == nil {
+				lines[pc.pos.Filename] = map[int]bool{}
+			}
+			lines[pc.pos.Filename][pc.pos.Line] = true
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(fd.Pos())
+				if fl := lines[pos.Filename]; fl != nil && (fl[pos.Line] || fl[pos.Line-1]) {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	prog.Cache[key] = out
+	return out
+}
+
+// Commute verifies that every function marked //nscc:commutative is
+// commutative-shaped. The marker is a proof obligation, not a
+// suppression: ga migrant merges, bayes contribution folds, and graph
+// view merges are replayed in arbitrary arrival orders, and the
+// simrace reconciliation trusts the marker when discharging unbounded
+// staleness — so the analyzer insists the marked function (and every
+// helper it reaches) is pure over its operands: no wall clock, no
+// global randomness, no raw concurrency, no package-level mutable
+// state, and no calls whose effects it cannot see. Operand mutation
+// (receiver, parameters) is the merge's whole point and is allowed;
+// what must not exist is a dependency on anything *other* than the
+// operands.
+var Commute = &Analyzer{
+	Name: "commute",
+	Doc: "//nscc:commutative-marked functions that are not commutative-shaped " +
+		"(hidden state, determinism primitives, or unanalyzable calls)",
+	Run: func(p *Pass) {
+		annotated := commuteAnnotated(p.Prog)
+		for _, fi := range funcsOf(p.Prog, p.Pkg) {
+			if !annotated[fi.Obj] {
+				continue
+			}
+			name := fi.Obj.Name()
+			primPos := map[token.Pos]bool{}
+			for _, pu := range fi.DirectPrims {
+				primPos[pu.Pos] = true
+				p.Reportf(pu.Pos, "commutative function %s uses %s; a merge replayed in arbitrary order must not touch host time, global randomness, or raw concurrency", name, pu.Desc)
+			}
+			for _, gv := range fi.GlobalVars {
+				verb := "reads"
+				if gv.Write {
+					verb = "writes"
+				}
+				p.Reportf(gv.Pos, "commutative function %s %s package-level var %s; merge state must flow through operands only", name, verb, gv.Var.Name())
+			}
+			for _, cs := range fi.Calls {
+				if primPos[cs.Pos] {
+					continue // the primitive-use report already covers this call
+				}
+				if why := commuteCallAllowed(p.Prog, annotated, cs.Callee); why != "" {
+					p.Reportf(cs.Pos, "commutative function %s %s; commutativity cannot be established", name, why)
+				}
+			}
+		}
+	},
+}

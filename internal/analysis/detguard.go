@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// detguardBlessed lists the package-path prefixes of the determinism
+// substrate: machinery that legitimately touches the host clock,
+// scheduler, or locks because it *implements* replay (the coroutine
+// engine, the host worker pool, observability sinks, the journal).
+// Calls from scoped code into these packages are by-construction safe
+// and stop the interprocedural closure.
+var detguardBlessed = []string{
+	"nscc/internal/sim",
+	"nscc/internal/runner",
+	"nscc/internal/obs",
+	"nscc/internal/simrace",
+	"nscc/internal/ckpt",
+}
+
+// pathInScope reports whether path equals one of the prefixes or lives
+// under one of them.
+func pathInScope(path string, prefixes []string) bool {
+	for _, prefix := range prefixes {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// detReach maps a function to, per primitive family, one witness chain
+// ("helper -> inner -> time.Now") proving the function transitively
+// reaches that primitive.
+type detReach map[*types.Func]map[PrimKind]string
+
+// detguardKinds fixes the report and propagation order of the three
+// primitive families.
+var detguardKinds = [...]PrimKind{PrimWallclock, PrimGlobalrand, PrimRawconc}
+
+// detguardReach computes (once per Program, cached) the transitive
+// primitive reach of every function outside both the determinism scope
+// and the blessed substrate. Scoped functions are policed directly by
+// the syntactic analyzers and blessed functions are exempt, so neither
+// seeds nor propagates: the closure covers exactly the helper code that
+// would otherwise smuggle a primitive past the per-package checks.
+func detguardReach(prog *Program) detReach {
+	if c, ok := prog.Cache["detguard-reach"]; ok {
+		return c.(detReach)
+	}
+	var fns []*FuncInfo
+	prog.Funcs(func(fi *FuncInfo) {
+		path := fi.Pkg.ImportPath
+		if pathInScope(path, rawconcScope) || pathInScope(path, detguardBlessed) {
+			return
+		}
+		fns = append(fns, fi)
+	})
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Decl.Pos() < fns[j].Decl.Pos() })
+
+	reach := detReach{}
+	for _, fi := range fns {
+		for _, pu := range fi.DirectPrims {
+			m := reach[fi.Obj]
+			if m == nil {
+				m = map[PrimKind]string{}
+				reach[fi.Obj] = m
+			}
+			if _, ok := m[pu.Kind]; !ok {
+				m[pu.Kind] = pu.Desc
+			}
+		}
+	}
+	// Fixpoint over the call graph. Functions are visited in source
+	// order and primitive kinds in a fixed order, so the first witness
+	// chain recorded for a (function, kind) pair is deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			for _, cs := range fi.Calls {
+				sub := reach[cs.Callee]
+				if sub == nil {
+					continue
+				}
+				for _, kind := range detguardKinds {
+					w, ok := sub[kind]
+					if !ok {
+						continue
+					}
+					m := reach[fi.Obj]
+					if m == nil {
+						m = map[PrimKind]string{}
+						reach[fi.Obj] = m
+					}
+					if _, have := m[kind]; !have {
+						m[kind] = cs.Callee.Name() + " -> " + w
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	prog.Cache["detguard-reach"] = reach
+	return reach
+}
+
+// Detguard extends the wallclock/globalrand/rawconc checks across the
+// call graph: a scoped package that calls a helper which *transitively*
+// reads time.Now, draws global randomness, or spawns raw concurrency is
+// flagged at the call site, with the witness chain. The syntactic
+// analyzers only see primitives written inside the scoped package
+// itself; detguard closes the loophole of hiding one in a utility
+// function a package over. Calls into other scoped packages (policed
+// directly) and into the blessed substrate (sim, runner, obs, simrace,
+// ckpt — which implement determinism and may use primitives) are exempt.
+var Detguard = &Analyzer{
+	Name: "detguard",
+	Doc: "calls from determinism-scoped code to helpers that transitively reach " +
+		"wall-clock time, global randomness, or raw concurrency",
+	Match: func(path string) bool { return pathInScope(path, rawconcScope) },
+	Run: func(p *Pass) {
+		reach := detguardReach(p.Prog)
+		for _, fi := range funcsOf(p.Prog, p.Pkg) {
+			for _, cs := range fi.Calls {
+				calleePath := pkgPathOf(cs.Callee)
+				if pathInScope(calleePath, rawconcScope) || pathInScope(calleePath, detguardBlessed) {
+					continue
+				}
+				sub := reach[cs.Callee]
+				if sub == nil {
+					continue
+				}
+				for _, kind := range detguardKinds {
+					if w, ok := sub[kind]; ok {
+						p.Reportf(cs.Pos,
+							"call to %s reaches %s outside the determinism scope (%s); route it through the engine or annotate //nscc:detguard",
+							cs.Callee.Name(), kind, w)
+					}
+				}
+			}
+		}
+	},
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //nscc: comment. The general form is
+//
+//	//nscc:name1,name2 payload...
+//
+// where each name is a lower-case analyzer or marker identifier
+// ([a-z][a-z0-9-]*) and the payload is free text, conventionally a
+// justification introduced by "--":
+//
+//	//nscc:wallclock -- host-side throughput meter, not simulated time
+//	//nscc:tolerates-stale loc=migrants -- merged by commutative ReplaceWorst
+//
+// Payload tokens of the form loc=<name> carry reconciliation metadata:
+// they declare which DSM location a tolerance argument covers, and the
+// -simrace-report cross-check consumes them.
+type Directive struct {
+	Names   []string  // analyzer/marker names, in written order
+	Payload string    // trimmed text after the name list ("" if none)
+	Pos     token.Pos // position of the comment
+}
+
+// Has reports whether the directive names the given analyzer or marker.
+func (d *Directive) Has(name string) bool {
+	for _, n := range d.Names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Locs returns the location names declared by loc=<name> payload
+// tokens, in written order. Tokens after a "--" separator are
+// justification prose and are not scanned.
+func (d *Directive) Locs() []string {
+	var locs []string
+	for _, tok := range strings.Fields(d.Payload) {
+		if tok == "--" {
+			break
+		}
+		if name, ok := strings.CutPrefix(tok, "loc="); ok && name != "" {
+			locs = append(locs, name)
+		}
+	}
+	return locs
+}
+
+// directivePrefix introduces every nscc directive comment.
+const directivePrefix = "//nscc:"
+
+// validDirectiveName reports whether s is a well-formed analyzer or
+// marker name: [a-z][a-z0-9-]*, no leading/trailing or doubled dash.
+func validDirectiveName(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	prevDash := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevDash = false
+		case c == '-':
+			if prevDash || i == len(s)-1 {
+				return false
+			}
+			prevDash = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseDirective parses one comment's text. It returns (nil, nil) when
+// the comment is not an nscc directive at all, a parsed Directive when
+// it is well-formed, and a descriptive error when the comment starts
+// with //nscc: but is malformed (empty name list, illegal characters,
+// missing separator). Malformed directives suppress nothing; the
+// unuseddirective analyzer surfaces the parse error so the typo cannot
+// silently disable a check.
+func ParseDirective(text string) (*Directive, error) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return nil, nil
+	}
+	// Split the name list from the payload at the first whitespace.
+	nameList := rest
+	payload := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		nameList, payload = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if nameList == "" {
+		return nil, fmt.Errorf("directive has no analyzer name (want //nscc:<name>)")
+	}
+	if strings.HasPrefix(nameList, ",") || strings.HasSuffix(nameList, ",") || strings.Contains(nameList, ",,") {
+		return nil, fmt.Errorf("malformed analyzer list %q (want comma-separated names)", nameList)
+	}
+	names := strings.Split(nameList, ",")
+	for _, n := range names {
+		if !validDirectiveName(n) {
+			return nil, fmt.Errorf("malformed analyzer name %q (want [a-z][a-z0-9-]*)", n)
+		}
+	}
+	return &Directive{Names: names, Payload: payload}, nil
+}
+
+// parsedComment is one nscc-prefixed comment of a file set: either a
+// parsed directive or a parse failure, with its position in both raw
+// and resolved form.
+type parsedComment struct {
+	dir    *Directive // nil when malformed
+	err    error      // non-nil when malformed
+	rawPos token.Pos
+	pos    token.Position
+}
+
+// collectDirectives parses every nscc-prefixed comment of the files.
+// Non-directive comments are skipped; malformed directives are kept
+// with their error so checks can surface them.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []parsedComment {
+	var out []parsedComment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, err := ParseDirective(c.Text)
+				if d == nil && err == nil {
+					continue
+				}
+				if d != nil {
+					d.Pos = c.Pos()
+				}
+				out = append(out, parsedComment{dir: d, err: err, rawPos: c.Pos(), pos: fset.Position(c.Pos())})
+			}
+		}
+	}
+	return out
+}

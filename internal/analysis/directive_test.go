@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text    string
+		names   []string
+		payload string
+		isErr   bool
+		skip    bool // not a directive at all
+	}{
+		{text: "// ordinary comment", skip: true},
+		{text: "//nscc", skip: true},
+		{text: "// nscc:wallclock", skip: true}, // leading space: not a directive
+		{text: "//nscc:wallclock", names: []string{"wallclock"}},
+		{text: "//nscc:wallclock -- host-side meter", names: []string{"wallclock"}, payload: "-- host-side meter"},
+		{text: "//nscc:wallclock,maporder why not both", names: []string{"wallclock", "maporder"}, payload: "why not both"},
+		{text: "//nscc:tolerates-stale loc=migrants -- commutative merge", names: []string{"tolerates-stale"}, payload: "loc=migrants -- commutative merge"},
+		{text: "//nscc:a-b-c", names: []string{"a-b-c"}},
+		{text: "//nscc:rand2", names: []string{"rand2"}},
+		{text: "//nscc:wallclock\tpayload after tab", names: []string{"wallclock"}, payload: "payload after tab"},
+		{text: "//nscc:", isErr: true},
+		{text: "//nscc: wallclock", isErr: true}, // space before name: empty list
+		{text: "//nscc:,wallclock", isErr: true},
+		{text: "//nscc:wallclock,", isErr: true},
+		{text: "//nscc:wallclock,,maporder", isErr: true},
+		{text: "//nscc:Wallclock", isErr: true},
+		{text: "//nscc:wall_clock", isErr: true},
+		{text: "//nscc:-dash", isErr: true},
+		{text: "//nscc:dash-", isErr: true},
+		{text: "//nscc:do--uble", isErr: true},
+		{text: "//nscc:9lives", isErr: true},
+		{text: "//nscc:héllo", isErr: true},
+		{text: "//nscc:日本語", isErr: true},
+	}
+	for _, c := range cases {
+		d, err := ParseDirective(c.text)
+		switch {
+		case c.skip:
+			if d != nil || err != nil {
+				t.Errorf("%q: want (nil, nil), got (%v, %v)", c.text, d, err)
+			}
+		case c.isErr:
+			if err == nil {
+				t.Errorf("%q: want parse error, got %+v", c.text, d)
+			}
+		default:
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.text, err)
+				continue
+			}
+			if !reflect.DeepEqual(d.Names, c.names) {
+				t.Errorf("%q: names %v, want %v", c.text, d.Names, c.names)
+			}
+			if d.Payload != c.payload {
+				t.Errorf("%q: payload %q, want %q", c.text, d.Payload, c.payload)
+			}
+		}
+	}
+}
+
+func TestDirectiveHas(t *testing.T) {
+	d, err := ParseDirective("//nscc:wallclock,globalrand -- both are host-side")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"wallclock", "globalrand"} {
+		if !d.Has(name) {
+			t.Errorf("Has(%q) = false", name)
+		}
+	}
+	if d.Has("maporder") {
+		t.Error("Has(maporder) = true")
+	}
+}
+
+func TestDirectiveLocs(t *testing.T) {
+	cases := []struct {
+		text string
+		locs []string
+	}{
+		{"//nscc:tolerates-stale loc=migrants -- justification", []string{"migrants"}},
+		{"//nscc:tolerates-stale loc=state loc=progress -- two locations", []string{"state", "progress"}},
+		{"//nscc:tolerates-stale -- prose mentioning loc=bundle after the dash", nil},
+		{"//nscc:tolerates-stale loc= -- empty name ignored", nil},
+		{"//nscc:tolerates-stale plain justification", nil},
+	}
+	for _, c := range cases {
+		d, err := ParseDirective(c.text)
+		if err != nil {
+			t.Fatalf("%q: %v", c.text, err)
+		}
+		if got := d.Locs(); !reflect.DeepEqual(got, c.locs) {
+			t.Errorf("%q: Locs() = %v, want %v", c.text, got, c.locs)
+		}
+	}
+}

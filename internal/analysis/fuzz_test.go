@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirective drives the //nscc: directive parser with arbitrary
+// comment text. Invariants: the parser never panics; a comment without
+// the //nscc: prefix is never a directive or an error; a parsed
+// directive has only well-formed names reassemblable to the input's
+// name list; Locs never invents names absent from the payload.
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"// plain comment",
+		"//nscc:wallclock",
+		"//nscc:wallclock -- host-side meter, not simulated time",
+		"//nscc:wallclock,maporder both at once",
+		"//nscc:tolerates-stale loc=migrants -- commutative merge",
+		"//nscc:tolerates-stale loc=state loc=progress",
+		"//nscc:commutative",
+		"//nscc:",
+		"//nscc: ",
+		"//nscc:,",
+		"//nscc:a,",
+		"//nscc:,b",
+		"//nscc:a,,b",
+		"//nscc:UPPER",
+		"//nscc:under_score",
+		"//nscc:-lead",
+		"//nscc:trail-",
+		"//nscc:do--uble",
+		"//nscc:héllo",
+		"//nscc:日本語ディレクティブ",
+		"//nscc:\x00\xff",
+		"//nscc:name\twith tab payload",
+		"//nscc:" + strings.Repeat("a,", 100) + "a",
+		"//nscc:" + strings.Repeat("x", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ParseDirective(text)
+		if !strings.HasPrefix(text, "//nscc:") {
+			if d != nil || err != nil {
+				t.Fatalf("%q: non-directive parsed as (%v, %v)", text, d, err)
+			}
+			return
+		}
+		if d != nil && err != nil {
+			t.Fatalf("%q: both directive and error returned", text)
+		}
+		if d == nil && err == nil {
+			t.Fatalf("%q: //nscc: comment neither parsed nor rejected", text)
+		}
+		if d == nil {
+			return
+		}
+		if len(d.Names) == 0 {
+			t.Fatalf("%q: directive with empty name list", text)
+		}
+		for _, n := range d.Names {
+			if !validDirectiveName(n) {
+				t.Fatalf("%q: accepted malformed name %q", text, n)
+			}
+		}
+		// The accepted name list must literally reassemble to the text
+		// between the prefix and the first whitespace.
+		rest := strings.TrimPrefix(text, "//nscc:")
+		nameList := rest
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			nameList = rest[:i]
+		}
+		if got := strings.Join(d.Names, ","); got != nameList {
+			t.Fatalf("%q: names %v reassemble to %q, want %q", text, d.Names, got, nameList)
+		}
+		for _, loc := range d.Locs() {
+			if loc == "" {
+				t.Fatalf("%q: empty loc name", text)
+			}
+			if !strings.Contains(d.Payload, "loc="+loc) {
+				t.Fatalf("%q: Locs invented %q", text, loc)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"sort"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -30,6 +31,7 @@ type listedPackage struct {
 	Dir        string
 	ImportPath string
 	GoFiles    []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
@@ -75,16 +77,66 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
+	imp := &chainImporter{
+		loaded:   map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	// Load in dependency order so a listed package that imports another
+	// listed package reuses the directly-checked types.Package instead
+	// of a source-importer duplicate: cross-package object identity is
+	// what lets the interprocedural analyzers follow calls between
+	// analyzed packages.
+	byPath := map[string]*listedPackage{}
+	for i := range listed {
+		byPath[listed[i].ImportPath] = &listed[i]
+	}
 	var pkgs []*Package
-	for _, lp := range listed {
-		pkg, err := loadOne(fset, imp, lp)
+	visiting := map[string]bool{}
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		if imp.loaded[lp.ImportPath] != nil || visiting[lp.ImportPath] {
+			return nil
+		}
+		visiting[lp.ImportPath] = true
+		for _, dep := range lp.Imports {
+			if dlp := byPath[dep]; dlp != nil {
+				if err := visit(dlp); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := loadOne(fset, imp, *lp)
 		if err != nil {
+			return err
+		}
+		imp.loaded[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	for i := range listed {
+		if err := visit(&listed[i]); err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
+	// Report in the stable `go list` enumeration order, not load order.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil
+}
+
+// chainImporter serves packages this loader has already type-checked
+// and falls back to the source importer for everything else (stdlib,
+// unlisted dependencies).
+type chainImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg := c.loaded[path]; pkg != nil {
+		return pkg, nil
+	}
+	return c.fallback.Import(path)
 }
 
 // loadOne parses and type-checks one listed package.

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// loadFixtureModule loads the testdata/mod module, which exercises the
+// loader's filtering: a vendored package, a build-tagged (and
+// deliberately broken) file, and a test-only package.
+func loadFixtureModule(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := LoadPackages("testdata/mod", []string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	return pkgs
+}
+
+func TestLoadPackagesFiltering(t *testing.T) {
+	pkgs := loadFixtureModule(t)
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.ImportPath)
+	}
+	got := strings.Join(paths, " ")
+	if got != "loadmod/a loadmod/c" {
+		t.Fatalf("loaded %q, want %q", got, "loadmod/a loadmod/c")
+	}
+	// The build-tagged a_ignored.go must not have been parsed: package
+	// a has exactly one file.
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("loadmod/a parsed %d files, want 1 (build-tagged file must be excluded)", n)
+	}
+}
+
+func TestLoadPackagesCrossPackageIdentity(t *testing.T) {
+	pkgs := loadFixtureModule(t)
+	prog := NewProgram(pkgs)
+	// Find c.Caller and follow its single call edge: it must resolve to
+	// the directly-checked body of a.Helper, not a source-importer
+	// duplicate with a distinct object identity.
+	var caller *FuncInfo
+	prog.Funcs(func(fi *FuncInfo) {
+		if fi.Obj.Name() == "Caller" {
+			caller = fi
+		}
+	})
+	if caller == nil {
+		t.Fatal("c.Caller not in the program")
+	}
+	if len(caller.Calls) != 1 {
+		t.Fatalf("c.Caller has %d call edges, want 1", len(caller.Calls))
+	}
+	callee := caller.Calls[0].Callee
+	if callee.Name() != "Helper" {
+		t.Fatalf("c.Caller calls %s, want Helper", callee.Name())
+	}
+	fi := prog.FuncOf(callee)
+	if fi == nil {
+		t.Fatal("FuncOf(a.Helper) is nil: cross-package identity was lost in loading")
+	}
+	if fi.Decl == nil || fi.Decl.Name.Name != "Helper" {
+		t.Fatal("FuncOf(a.Helper) resolved to the wrong declaration")
+	}
+}
+
+func TestLoadPackagesDefaultPattern(t *testing.T) {
+	// An empty pattern list defaults to ./... .
+	pkgs, err := LoadPackages("testdata/mod", nil)
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+}
+
+func TestLoadPackagesBadPattern(t *testing.T) {
+	if _, err := LoadPackages("testdata/mod", []string{"./no/such/dir"}); err == nil {
+		t.Fatal("LoadPackages succeeded on a nonexistent pattern")
+	}
+}
+
+func TestNewInfoMapsPresent(t *testing.T) {
+	info := NewInfo()
+	for name, m := range map[string]bool{
+		"Types":      info.Types != nil,
+		"Defs":       info.Defs != nil,
+		"Uses":       info.Uses != nil,
+		"Selections": info.Selections != nil,
+		"Implicits":  info.Implicits != nil,
+		"Scopes":     info.Scopes != nil,
+	} {
+		if !m {
+			t.Errorf("NewInfo: %s map is nil", name)
+		}
+	}
+}
+
+func TestChainImporterFallback(t *testing.T) {
+	pkgs := loadFixtureModule(t)
+	// The loaded packages' types are usable as importers' results: the
+	// scope of loadmod/a must expose Helper as a *types.Func.
+	obj := pkgs[0].Types.Scope().Lookup("Helper")
+	if _, ok := obj.(*types.Func); !ok {
+		t.Fatalf("loadmod/a scope Helper = %T, want *types.Func", obj)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // rawconcScope lists the package-path prefixes where simulated
@@ -36,14 +35,7 @@ var Rawconc = &Analyzer{
 	Name: "rawconc",
 	Doc: "raw goroutines/channels/sync in simulated-process code: " +
 		"all concurrency must go through sim.Proc coroutines",
-	Match: func(path string) bool {
-		for _, prefix := range rawconcScope {
-			if path == prefix || strings.HasPrefix(path, prefix+"/") {
-				return true
-			}
-		}
-		return false
-	},
+	Match: func(path string) bool { return pathInScope(path, rawconcScope) },
 	Run: func(p *Pass) {
 		p.Inspect(func(n ast.Node) bool {
 			switch n := n.(type) {

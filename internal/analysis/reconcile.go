@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"nscc/internal/metrics"
+)
+
+// LoadRaceReport reads and validates a per-location race report (the
+// JSON a run writes under -simrace-out). A missing file, malformed
+// JSON, or a schema mismatch is a load error, not a finding: the
+// caller should exit 2, the same as a package that fails to parse.
+func LoadRaceReport(path string) (*metrics.RaceReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("simrace report: %v", err)
+	}
+	var rep metrics.RaceReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("simrace report %s: %v", path, err)
+	}
+	if rep.Schema != metrics.RaceReportSchema {
+		return nil, fmt.Errorf("simrace report %s: schema %q, want %q",
+			path, rep.Schema, metrics.RaceReportSchema)
+	}
+	return &rep, nil
+}
+
+// StaleDischarges collects every location name discharged by an
+// //nscc:tolerates-stale loc=<name> annotation anywhere in the loaded
+// packages, mapping the name to the position of one such directive
+// (the first in file order, for reporting).
+func StaleDischarges(pkgs []*Package) map[string]token.Position {
+	out := map[string]token.Position{}
+	for _, pkg := range pkgs {
+		for _, pc := range collectDirectives(pkg.Fset, pkg.Files) {
+			if pc.dir == nil || !pc.dir.Has(staleflowDirective) {
+				continue
+			}
+			for _, name := range pc.dir.Locs() {
+				if _, ok := out[name]; !ok {
+					out[name] = pc.pos
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReconcileRaceReport cross-checks the dynamic per-location race
+// classification against the static staleness annotations: every
+// location the checker observed racing with no staleness bound in
+// force (Unbounded > 0) must be discharged by a
+// //nscc:tolerates-stale loc=<name> annotation somewhere in the
+// analyzed packages, or the dynamic evidence contradicts the static
+// claim that all undischarged stale flows were synchronized. Findings
+// are attributed to the report file (they point at an absence in the
+// source, not a line).
+func ReconcileRaceReport(pkgs []*Package, rep *metrics.RaceReport, reportPath string) []Diagnostic {
+	discharged := StaleDischarges(pkgs)
+	var diags []Diagnostic
+	for _, loc := range rep.Locations {
+		if loc.Unbounded == 0 {
+			continue
+		}
+		if _, ok := discharged[loc.Name]; ok {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "reconcile",
+			File:     reportPath,
+			Line:     0,
+			Col:      0,
+			Message: fmt.Sprintf("location %q (id %d) raced with no staleness bound %d time(s) dynamically, "+
+				"but no //nscc:tolerates-stale loc=%s discharge exists in the analyzed packages; "+
+				"bound the read or annotate the tolerating site",
+				loc.Name, loc.ID, loc.Unbounded, loc.Name),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Message < diags[j].Message })
+	return diags
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nscc/internal/metrics"
+)
+
+// parsePackage type-checks one in-memory source file into a *Package.
+func parsePackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "recon.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("recon", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: "recon", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+const reconSrc = `package recon
+
+//nscc:tolerates-stale loc=cold loc=tepid -- order-free accumulation
+
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`
+
+func TestStaleDischarges(t *testing.T) {
+	pkg := parsePackage(t, reconSrc)
+	got := StaleDischarges([]*Package{pkg})
+	for _, name := range []string{"cold", "tepid"} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("discharge %q not collected", name)
+		}
+	}
+	if len(got) != 2 {
+		t.Errorf("collected %d discharges, want 2: %v", len(got), got)
+	}
+}
+
+func TestReconcileRaceReport(t *testing.T) {
+	pkg := parsePackage(t, reconSrc)
+	rep := &metrics.RaceReport{
+		Schema: metrics.RaceReportSchema,
+		Locations: []metrics.LocationRace{
+			{ID: 0, Name: "cold", Reads: 10, Unbounded: 4},     // discharged
+			{ID: 1, Name: "hot", Reads: 10, Unbounded: 2},      // NOT discharged -> finding
+			{ID: 2, Name: "warm", Reads: 10, Synchronized: 10}, // never raced
+		},
+	}
+	diags := ReconcileRaceReport([]*Package{pkg}, rep, "race.json")
+	if len(diags) != 1 {
+		t.Fatalf("%d findings, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "reconcile" || !strings.Contains(d.Message, `"hot"`) ||
+		!strings.Contains(d.Message, "loc=hot") {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+	if d.File != "race.json" {
+		t.Errorf("finding attributed to %q, want race.json", d.File)
+	}
+}
+
+func TestLoadRaceReport(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.json", `{"schema":"`+metrics.RaceReportSchema+`","totals":{"writes":1,"reads":1,"synchronized":1,"tolerated_stale":0,"unbounded":0},"locations":[]}`)
+	rep, err := LoadRaceReport(good)
+	if err != nil {
+		t.Fatalf("good report: %v", err)
+	}
+	if rep.Totals.Writes != 1 {
+		t.Errorf("totals not decoded: %+v", rep.Totals)
+	}
+
+	if _, err := LoadRaceReport(write("bad.json", `{nope`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := LoadRaceReport(write("schema.json", `{"schema":"other/v1"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := LoadRaceReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

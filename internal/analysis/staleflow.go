@@ -1,0 +1,704 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// staleflow taint-tracks possibly-stale DSM reads to exact-semantics
+// sinks. Sources are core.Node reads that may return data older than
+// the current iteration: Node.Read (non-blocking, arbitrarily stale)
+// and Node.GlobalRead with a nonzero or non-constant age bound.
+// GlobalRead with a literal age of 0 is a synchronized fetch and is
+// clean. Taint flows through assignments, field/index projections,
+// arithmetic, composite literals, and calls (via interprocedural
+// summaries); it is discharged by tolerant shapes — order-independent
+// op-assign accumulation, min/max compare-assign merges, calls to
+// //nscc:commutative functions — and by //nscc:tolerates-stale
+// annotations at the read or at the sink.
+
+// staleflowDirective is the staleflow analyzer's suppression and
+// discharge directive name.
+const staleflowDirective = "tolerates-stale"
+
+// staleSrc identifies where a tainted value was read.
+type staleSrc struct {
+	pos  token.Pos
+	desc string // "Read" or "GlobalRead"
+}
+
+// staleSink is one finding: a tainted value reaching an
+// exact-semantics site.
+type staleSink struct {
+	pos  token.Pos
+	what string
+	src  staleSrc
+}
+
+// staleSummary is one function's interprocedural behavior.
+type staleSummary struct {
+	returnsStale  bool     // some return value is tainted by a read inside
+	paramToReturn []bool   // parameter i flows to a return value
+	paramToSink   []string // parameter i reaches a sink ("" if not; else the sink description)
+}
+
+// staleDischargeOps are the order-independent accumulation operators:
+// folding stale operands with them commutes, so taint stops there.
+var staleDischargeOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.AND_ASSIGN: true, token.OR_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+// staleFmtTaintFuncs are fmt functions that return their (possibly
+// tainted) arguments re-formatted rather than emitting them.
+var staleFmtTaintFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// staleFmtSinkFuncs are fmt output functions: a stale value printed is
+// a nondeterministic observable.
+var staleFmtSinkFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// stalePvmSinkArgs maps pvm.Task messaging methods to the argument
+// positions that route the message (destination, tag): stale routing
+// delivers to the wrong place.
+var stalePvmSinkArgs = map[string][]int{
+	"Send": {0, 1}, "SendWithCallback": {0, 1}, "Multicast": {0, 1}, "Bcast": {0},
+}
+
+// staleReadCall recognizes a source: a method call named Read or
+// GlobalRead on a receiver type named Node. Recognition is structural
+// (type *name*, not import path) so self-contained fixtures exercise
+// the analyzer without importing the real core package.
+func staleReadCall(info *types.Info, call *ast.CallExpr) (staleSrc, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return staleSrc{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return staleSrc{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return staleSrc{}, false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Node" {
+		return staleSrc{}, false
+	}
+	switch fn.Name() {
+	case "Read":
+		if len(call.Args) == 1 {
+			return staleSrc{pos: call.Pos(), desc: "Read"}, true
+		}
+	case "GlobalRead":
+		if len(call.Args) != 3 {
+			return staleSrc{}, false
+		}
+		// A constant age of 0 is strict coherence: the read blocks
+		// until the current iteration's value arrives.
+		if tv, ok := info.Types[call.Args[2]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			return staleSrc{}, false
+		}
+		return staleSrc{pos: call.Pos(), desc: "GlobalRead"}, true
+	}
+	return staleSrc{}, false
+}
+
+// staleSuppressedLines collects, program-wide, the lines carrying a
+// tolerates-stale directive: a source on (or just under) such a line
+// produces no taint anywhere, including through summaries.
+func staleSuppressedLines(prog *Program) map[string]map[int]bool {
+	key := "staleflow-suppressed"
+	if c, ok := prog.Cache[key]; ok {
+		return c.(map[string]map[int]bool)
+	}
+	out := map[string]map[int]bool{}
+	for _, pkg := range prog.Pkgs {
+		for _, pc := range collectDirectives(pkg.Fset, pkg.Files) {
+			if pc.dir == nil || !pc.dir.Has(staleflowDirective) {
+				continue
+			}
+			if out[pc.pos.Filename] == nil {
+				out[pc.pos.Filename] = map[int]bool{}
+			}
+			out[pc.pos.Filename][pc.pos.Line] = true
+		}
+	}
+	prog.Cache[key] = out
+	return out
+}
+
+// staleFn is one intra-function taint analysis: seeded either by the
+// read sources it finds (reporting and returnsStale) or by a parameter
+// (summary rows).
+type staleFn struct {
+	prog       *Program
+	fi         *FuncInfo
+	info       *types.Info
+	fset       *token.FileSet
+	sums       map[*types.Func]*staleSummary
+	annotated  map[*types.Func]bool
+	suppressed map[string]map[int]bool
+
+	taint    map[types.Object]staleSrc
+	monotone map[*ast.AssignStmt]bool
+	sinks    []staleSink
+	retStale *staleSrc
+}
+
+func newStaleFn(prog *Program, fi *FuncInfo, sums map[*types.Func]*staleSummary) *staleFn {
+	return &staleFn{
+		prog: prog, fi: fi, info: fi.Pkg.Info, fset: fi.Pkg.Fset, sums: sums,
+		annotated:  commuteAnnotated(prog),
+		suppressed: staleSuppressedLines(prog),
+		taint:      map[types.Object]staleSrc{},
+		monotone:   findMonotoneMerges(fi.Decl.Body),
+	}
+}
+
+// findMonotoneMerges marks the assignments of min/max compare-assign
+// merges: `if cand < best { best = cand }` (any of < <= > >=). The
+// merged variable converges to the same extremum whatever order stale
+// candidates arrive in, so the shape discharges taint.
+func findMonotoneMerges(body *ast.BlockStmt) map[*ast.AssignStmt]bool {
+	out := map[*ast.AssignStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Else != nil || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch cond.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		as, ok := ifs.Body.List[0].(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+			return true
+		}
+		l, r := exprText(cond.X), exprText(cond.Y)
+		lhs, rhs := exprText(as.Lhs[0]), exprText(as.Rhs[0])
+		if lhs == "" || rhs == "" {
+			return true
+		}
+		if (lhs == l && rhs == r) || (lhs == r && rhs == l) {
+			out[as] = true
+		}
+		return true
+	})
+	return out
+}
+
+// exprText renders simple ident/selector/index chains for structural
+// comparison ("" for anything more complex).
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprText(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		x, i := exprText(e.X), exprText(e.Index)
+		if x != "" && i != "" {
+			return x + "[" + i + "]"
+		}
+	}
+	return ""
+}
+
+// sourceSuppressed reports whether a read at pos carries (or sits just
+// under) a tolerates-stale annotation.
+func (s *staleFn) sourceSuppressed(pos token.Pos) bool {
+	position := s.fset.Position(pos)
+	lines := s.suppressed[position.Filename]
+	return lines != nil && (lines[position.Line] || lines[position.Line-1])
+}
+
+// tainted returns the source of e's taint, or nil.
+func (s *staleFn) tainted(e ast.Expr) *staleSrc {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := s.objOf(e); obj != nil {
+			if src, ok := s.taint[obj]; ok {
+				return &src
+			}
+		}
+	case *ast.ParenExpr:
+		return s.tainted(e.X)
+	case *ast.UnaryExpr:
+		return s.tainted(e.X)
+	case *ast.StarExpr:
+		return s.tainted(e.X)
+	case *ast.BinaryExpr:
+		if src := s.tainted(e.X); src != nil {
+			return src
+		}
+		return s.tainted(e.Y)
+	case *ast.SelectorExpr:
+		return s.tainted(e.X)
+	case *ast.IndexExpr:
+		if src := s.tainted(e.X); src != nil {
+			return src
+		}
+		return s.tainted(e.Index)
+	case *ast.SliceExpr:
+		return s.tainted(e.X)
+	case *ast.TypeAssertExpr:
+		return s.tainted(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if src := s.tainted(elt); src != nil {
+				return src
+			}
+		}
+	case *ast.CallExpr:
+		return s.callTaint(e)
+	}
+	return nil
+}
+
+// callTaint decides whether a call expression's result is tainted.
+func (s *staleFn) callTaint(call *ast.CallExpr) *staleSrc {
+	if src, ok := staleReadCall(s.info, call); ok {
+		if s.sourceSuppressed(src.pos) {
+			return nil
+		}
+		return &src
+	}
+	// Conversions keep their operand's taint.
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return s.tainted(call.Args[0])
+	}
+	// Builtins (len, append, min, ...) derive from their operands.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := s.info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, arg := range call.Args {
+				if src := s.tainted(arg); src != nil {
+					return src
+				}
+			}
+			return nil
+		}
+	}
+	callee := calleeOf(s.info, call)
+	if callee == nil {
+		return nil
+	}
+	// A verified-commutative merge tolerates stale operands by
+	// construction: taint is discharged, result and all.
+	if s.annotated[callee] {
+		return nil
+	}
+	path := pkgPathOf(callee)
+	if path == "math" || (path == "fmt" && staleFmtTaintFuncs[callee.Name()]) {
+		for _, arg := range call.Args {
+			if src := s.tainted(arg); src != nil {
+				return src
+			}
+		}
+		return nil
+	}
+	if sum := s.sums[callee]; sum != nil {
+		if sum.returnsStale {
+			return &staleSrc{pos: call.Pos(), desc: callee.Name() + " (reads stale internally)"}
+		}
+		for i, arg := range call.Args {
+			if i < len(sum.paramToReturn) && sum.paramToReturn[i] {
+				if src := s.tainted(arg); src != nil {
+					return src
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (s *staleFn) objOf(id *ast.Ident) types.Object {
+	if obj := s.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return s.info.Defs[id]
+}
+
+// propagate runs the flow-insensitive assignment fixpoint over the
+// body: anything assigned from a tainted expression becomes tainted,
+// except through the tolerant shapes.
+func (s *staleFn) propagate() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(s.fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if staleDischargeOps[n.Tok] || s.monotone[n] {
+					return true // tolerant accumulation / monotone merge
+				}
+				if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+					return true
+				}
+				if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+					// Multi-value: u, ok := node.Read(loc) taints u only;
+					// any other tainted call taints every binding.
+					call, isCall := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+					if isCall {
+						if src, isRead := staleReadCall(s.info, call); isRead && !s.sourceSuppressed(src.pos) {
+							changed = s.taintLhs(n.Lhs[0], src) || changed
+							return true
+						}
+					}
+					if src := s.tainted(n.Rhs[0]); src != nil {
+						for _, lhs := range n.Lhs {
+							changed = s.taintLhs(lhs, *src) || changed
+						}
+					}
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						if src := s.tainted(n.Rhs[i]); src != nil {
+							changed = s.taintLhs(lhs, *src) || changed
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						if src := s.tainted(n.Values[i]); src != nil {
+							if obj := s.objOf(name); obj != nil {
+								changed = s.taintObj(obj, *src) || changed
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if src := s.tainted(n.X); src != nil {
+					if n.Value != nil {
+						changed = s.taintLhs(n.Value, *src) || changed
+					}
+					// Map keys of a tainted map are data; slice indexes
+					// are ordinals and stay clean.
+					if n.Key != nil {
+						if tv, ok := s.info.Types[n.X]; ok {
+							if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+								changed = s.taintLhs(n.Key, *src) || changed
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (s *staleFn) taintLhs(lhs ast.Expr, src staleSrc) bool {
+	id, ok := rootIdent(lhs)
+	if !ok {
+		return false
+	}
+	obj := s.objOf(id)
+	if obj == nil {
+		return false
+	}
+	return s.taintObj(obj, src)
+}
+
+func (s *staleFn) taintObj(obj types.Object, src staleSrc) bool {
+	if _, ok := s.taint[obj]; ok {
+		return false
+	}
+	s.taint[obj] = src
+	return true
+}
+
+// findSinks walks the body reporting every tainted value at an
+// exact-semantics site, and records tainted returns.
+func (s *staleFn) findSinks() {
+	ast.Inspect(s.fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if as := soleAssign(n.Body); as != nil && s.monotone[as] {
+				return true
+			}
+			if src := s.tainted(n.Cond); src != nil && exitsEarly(n) {
+				s.sinks = append(s.sinks, staleSink{pos: n.Cond.Pos(), what: "gates an early return or break", src: *src})
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				if src := s.tainted(n.Cond); src != nil {
+					s.sinks = append(s.sinks, staleSink{pos: n.Cond.Pos(), what: "bounds a loop", src: *src})
+				}
+			}
+		case *ast.IndexExpr:
+			if src := s.tainted(n.Index); src != nil {
+				what := "used as slice index"
+				if tv, ok := s.info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						what = "used as map key"
+					}
+				}
+				s.sinks = append(s.sinks, staleSink{pos: n.Index.Pos(), what: what, src: *src})
+			}
+		case *ast.CompositeLit:
+			s.locationLitSink(n)
+		case *ast.CallExpr:
+			s.callSinks(n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if src := s.tainted(res); src != nil && s.retStale == nil {
+					cp := *src
+					s.retStale = &cp
+				}
+			}
+		}
+		return true
+	})
+}
+
+// soleAssign returns the block's statement when it is exactly one
+// assignment, else nil (the monotone-merge lookup key for if bodies).
+func soleAssign(b *ast.BlockStmt) *ast.AssignStmt {
+	if len(b.List) != 1 {
+		return nil
+	}
+	as, _ := b.List[0].(*ast.AssignStmt)
+	return as
+}
+
+// exitsEarly reports whether the if statement's branches contain a
+// return or break (not descending into nested function literals):
+// gating those on a stale value makes termination depend on arrival
+// order. A stale-guarded continue merely reorders work and is
+// tolerated.
+func exitsEarly(ifs *ast.IfStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	}
+	ast.Inspect(ifs.Body, check)
+	if ifs.Else != nil {
+		ast.Inspect(ifs.Else, check)
+	}
+	return found
+}
+
+// locationLitSink flags tainted values landing in a Location's ID: a
+// stale location identity addresses the wrong cell forever after.
+func (s *staleFn) locationLitSink(lit *ast.CompositeLit) {
+	tv, ok := s.info.Types[lit]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Location" {
+		return
+	}
+	for i, elt := range lit.Elts {
+		val := elt
+		isID := i == 0
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, _ := kv.Key.(*ast.Ident)
+			isID = key != nil && key.Name == "ID"
+			val = kv.Value
+		}
+		if !isID {
+			continue
+		}
+		if src := s.tainted(val); src != nil {
+			s.sinks = append(s.sinks, staleSink{pos: val.Pos(), what: "flows into a Location ID", src: *src})
+		}
+	}
+}
+
+// callSinks flags tainted arguments at calls with exact-semantics
+// parameters: panic and fmt output, pvm message routing, and callees
+// whose summary says the parameter reaches a sink inside.
+func (s *staleFn) callSinks(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := s.info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "panic" {
+			for _, arg := range call.Args {
+				if src := s.tainted(arg); src != nil {
+					s.sinks = append(s.sinks, staleSink{pos: arg.Pos(), what: "flows into a panic", src: *src})
+				}
+			}
+			return
+		}
+	}
+	callee := calleeOf(s.info, call)
+	if callee == nil {
+		return
+	}
+	if s.annotated[callee] {
+		return // commutative merges tolerate stale operands
+	}
+	if pkgPathOf(callee) == "fmt" && staleFmtSinkFuncs[callee.Name()] {
+		for _, arg := range call.Args {
+			if src := s.tainted(arg); src != nil {
+				s.sinks = append(s.sinks, staleSink{pos: arg.Pos(), what: "flows into formatted output", src: *src})
+			}
+		}
+		return
+	}
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok && named.Obj().Name() == "Task" {
+			for _, i := range stalePvmSinkArgs[callee.Name()] {
+				if i < len(call.Args) {
+					if src := s.tainted(call.Args[i]); src != nil {
+						s.sinks = append(s.sinks, staleSink{pos: call.Args[i].Pos(), what: "routes a message (destination/tag)", src: *src})
+					}
+				}
+			}
+			return
+		}
+	}
+	if sum := s.sums[callee]; sum != nil {
+		for i, arg := range call.Args {
+			if i < len(sum.paramToSink) && sum.paramToSink[i] != "" {
+				if src := s.tainted(arg); src != nil {
+					s.sinks = append(s.sinks, staleSink{pos: arg.Pos(),
+						what: sum.paramToSink[i] + " inside " + callee.Name(), src: *src})
+				}
+			}
+		}
+	}
+}
+
+// seedParam taints one parameter (summary rows).
+func (s *staleFn) seedParam(i int) bool {
+	params := s.fi.Obj.Type().(*types.Signature).Params()
+	if i >= params.Len() {
+		return false
+	}
+	s.taint[params.At(i)] = staleSrc{pos: s.fi.Decl.Pos(), desc: "parameter " + params.At(i).Name()}
+	return true
+}
+
+// staleSummaries computes (once per Program, to a fixpoint) every
+// loaded function's staleflow summary.
+func staleSummaries(prog *Program) map[*types.Func]*staleSummary {
+	key := "staleflow-sums"
+	if c, ok := prog.Cache[key]; ok {
+		return c.(map[*types.Func]*staleSummary)
+	}
+	sums := map[*types.Func]*staleSummary{}
+	prog.Cache[key] = sums
+	var fns []*FuncInfo
+	prog.Funcs(func(fi *FuncInfo) { fns = append(fns, fi) })
+	for _, fi := range fns {
+		n := fi.Obj.Type().(*types.Signature).Params().Len()
+		sums[fi.Obj] = &staleSummary{paramToReturn: make([]bool, n), paramToSink: make([]string, n)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			sum := sums[fi.Obj]
+			// Source-seeded row: does a read inside taint a return?
+			s := newStaleFn(prog, fi, sums)
+			s.propagate()
+			s.findSinks()
+			if s.retStale != nil && !sum.returnsStale {
+				sum.returnsStale = true
+				changed = true
+			}
+			// Parameter rows.
+			for i := range sum.paramToReturn {
+				if sum.paramToReturn[i] && sum.paramToSink[i] != "" {
+					continue
+				}
+				ps := newStaleFn(prog, fi, sums)
+				if !ps.seedParam(i) {
+					continue
+				}
+				ps.propagate()
+				ps.findSinks()
+				if ps.retStale != nil && !sum.paramToReturn[i] {
+					sum.paramToReturn[i] = true
+					changed = true
+				}
+				if len(ps.sinks) > 0 && sum.paramToSink[i] == "" {
+					sum.paramToSink[i] = ps.sinks[0].what
+					changed = true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// Staleflow reports flows from possibly-stale DSM reads into
+// exact-semantics sinks. The paper's bargain is that *tolerant*
+// consumers (commutative merges, monotone folds) may read stale data
+// for throughput; this analyzer statically delimits the bargain by
+// proving where stale values could instead reach sites that demand
+// exactness — termination decisions, map keys and slice indices,
+// location identity, message routing, panics and output. Findings are
+// discharged by restructuring, or by //nscc:tolerates-stale (with a
+// loc=<name> payload tying the annotation to the DSM location for the
+// simrace reconciliation).
+var Staleflow = &Analyzer{
+	Name:      "staleflow",
+	Directive: staleflowDirective,
+	Doc: "possibly-stale DSM reads (Node.Read, age-bounded GlobalRead) flowing " +
+		"into exact-semantics sinks; annotate tolerated flows //nscc:tolerates-stale",
+	Run: func(p *Pass) {
+		sums := staleSummaries(p.Prog)
+		for _, fi := range funcsOf(p.Prog, p.Pkg) {
+			s := newStaleFn(p.Prog, fi, sums)
+			// Credit read-site annotations as used suppressions.
+			if p.OnSuppress != nil {
+				ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if src, isRead := staleReadCall(s.info, call); isRead && s.sourceSuppressed(src.pos) {
+							p.OnSuppress(p.Fset.Position(src.pos))
+						}
+					}
+					return true
+				})
+			}
+			s.propagate()
+			s.findSinks()
+			for _, sink := range s.sinks {
+				srcPos := p.Fset.Position(sink.src.pos)
+				p.Reportf(sink.pos, "possibly-stale value (%s at %s:%d) %s; synchronize the read or annotate //nscc:tolerates-stale",
+					sink.src.desc, filepath.Base(srcPos.Filename), srcPos.Line, sink.what)
+			}
+		}
+	},
+}

@@ -1,0 +1,7 @@
+// Package a is the loader fixture's dependency package.
+package a
+
+// Helper is called across packages by loadmod/c; the loader test
+// asserts the call resolves to this body (object identity across
+// directly-checked packages).
+func Helper(x int) int { return x + 1 }

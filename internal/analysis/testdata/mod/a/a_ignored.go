@@ -1,0 +1,9 @@
+//go:build neverbuilt
+
+// This file carries a build tag no configuration sets: go list must
+// exclude it from GoFiles, and the loader must not parse it. The
+// deliberate syntax error below proves the point — loading would fail
+// if this file were ever read.
+package a
+
+func broken( {

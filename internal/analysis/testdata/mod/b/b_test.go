@@ -1,0 +1,7 @@
+// Package b holds only test files: go list reports it with no
+// GoFiles, and the loader must skip it entirely.
+package b
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

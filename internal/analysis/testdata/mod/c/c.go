@@ -1,0 +1,8 @@
+// Package c imports loadmod/a so the loader test can verify that
+// cross-package calls resolve to the directly-checked dependency, not
+// a source-importer duplicate.
+package c
+
+import "loadmod/a"
+
+func Caller() int { return a.Helper(41) }

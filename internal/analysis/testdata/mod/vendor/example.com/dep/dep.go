@@ -1,0 +1,5 @@
+// Vendored code must never be matched by ./... patterns; the loader
+// test asserts this package is absent from the load set.
+package dep
+
+func Vendored() {}

@@ -1,0 +1,103 @@
+// Package commute is the golden fixture for the commutative-shape
+// verifier: //nscc:commutative functions must be pure over their
+// operands.
+package commute
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type acc struct {
+	sum  float64
+	hits int
+}
+
+var generation int
+
+// Well-shaped merges: operand mutation, pure stdlib, monotone folds.
+
+//nscc:commutative
+func mergeSum(a *acc, contrib float64, hit bool) {
+	a.sum += math.Abs(contrib)
+	if hit {
+		a.hits++
+	}
+}
+
+//nscc:commutative
+func mergeMax(best *float64, cand float64) {
+	if cand > *best {
+		*best = cand
+	}
+}
+
+// helper reached from a merge: pure over operands, so allowed even
+// though it carries no marker itself.
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+//nscc:commutative
+func mergeClamped(a *acc, contrib float64) {
+	a.sum += clamp(contrib, 0, 1)
+}
+
+//nscc:commutative
+func mergeSorted(dst, src []float64) []float64 {
+	dst = append(dst, src...)
+	sort.Float64s(dst)
+	return dst
+}
+
+// Ill-shaped merges.
+
+//nscc:commutative
+func mergeClocked(a *acc, contrib float64) {
+	a.sum += contrib
+	_ = time.Now() // want `commutative function mergeClocked uses time\.Now`
+}
+
+//nscc:commutative
+func mergeRandom(a *acc) {
+	a.sum += rand.Float64() // want `commutative function mergeRandom uses rand\.Float64`
+}
+
+//nscc:commutative
+func mergeConcurrent(a *acc, contrib float64) {
+	done := make(chan bool)
+	go func() { // want `commutative function mergeConcurrent uses go statement`
+		a.sum += contrib
+		done <- true // want `commutative function mergeConcurrent uses channel send`
+	}()
+	<-done // want `commutative function mergeConcurrent uses channel receive`
+}
+
+//nscc:commutative
+func mergeGlobal(a *acc) {
+	a.hits += generation // want `commutative function mergeGlobal reads package-level var generation`
+}
+
+//nscc:commutative
+func mergeWritesGlobal(a *acc) {
+	generation = a.hits // want `commutative function mergeWritesGlobal writes package-level var generation`
+}
+
+func logMerge(a *acc) {
+	fmt.Println(a.sum)
+}
+
+//nscc:commutative
+func mergeLogged(a *acc, contrib float64) {
+	a.sum += contrib
+	logMerge(a) // want `commutative function mergeLogged calls logMerge, which calls Println, whose body is outside the analyzed program`
+}

@@ -1,0 +1,60 @@
+// Package detguard is the golden fixture for the interprocedural
+// primitive-reach check. The fixture package path is outside the
+// determinism scope, so its helper functions play the role of the
+// out-of-scope utility code a scoped package might call; the driver
+// ignores Match for the package under test itself.
+package detguard
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Helpers with direct primitive uses.
+
+func stampNow() int64 { return time.Now().UnixNano() }
+
+func drawGlobal() float64 { return rand.Float64() }
+
+func locked(f func()) {
+	var mu sync.Mutex // the qualified sync reference is the seed
+	mu.Lock()
+	f()
+	mu.Unlock()
+}
+
+// Transitive helpers: the primitive is two hops away. Inside the
+// analyzed package every edge toward the primitive is itself a
+// finding (in repository runs these helpers live outside the scope
+// and only the scoped call site is reported).
+
+func stampVia() int64 { return stampNow() } // want `call to stampNow reaches wallclock outside the determinism scope \(time\.Now\)`
+
+func deepStamp() int64 { return stampVia() } // want `call to stampVia reaches wallclock outside the determinism scope \(stampNow -> time\.Now\)`
+
+// A clean helper chain produces no findings.
+
+func double(x int64) int64 { return addSelf(x) }
+
+func addSelf(x int64) int64 { return x + x }
+
+// Call sites standing in for scoped code.
+
+func useDirect() {
+	_ = stampNow()    // want `call to stampNow reaches wallclock outside the determinism scope \(time\.Now\)`
+	_ = drawGlobal()  // want `call to drawGlobal reaches globalrand outside the determinism scope \(rand\.Float64\)`
+	locked(func() {}) // want `call to locked reaches rawconc outside the determinism scope \(sync\.Mutex\)`
+}
+
+func useTransitive() {
+	_ = deepStamp() // want `call to deepStamp reaches wallclock outside the determinism scope \(stampVia -> stampNow -> time\.Now\)`
+}
+
+func useClean() {
+	_ = double(21) // clean chain: no finding
+}
+
+func useSuppressed() {
+	_ = stampNow() //nscc:detguard -- host-side progress meter, outside replay
+}

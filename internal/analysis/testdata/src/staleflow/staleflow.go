@@ -1,0 +1,142 @@
+// Package staleflow is the golden fixture for the stale-taint
+// analyzer. It declares a structural stand-in for core.Node (the
+// analyzer matches the receiver type name, not the import path) and
+// exercises sources, propagation, every sink family, and every
+// tolerant discharge.
+package staleflow
+
+import "fmt"
+
+type Update struct {
+	Value interface{}
+	Iter  int64
+}
+
+type Location struct {
+	ID   int
+	Name string
+}
+
+type Node struct{ buf map[int]Update }
+
+func (n *Node) Read(loc *Location) (Update, bool) { u, ok := n.buf[loc.ID]; return u, ok }
+
+func (n *Node) GlobalRead(loc *Location, curIter, age int64) Update { return n.buf[loc.ID] }
+
+type Task struct{}
+
+func (t *Task) Send(dst, tag int, size int, data interface{}) {}
+
+// --- sinks ---
+
+func terminationGate(n *Node, loc *Location, iter int64) int {
+	u := n.GlobalRead(loc, iter, 4)
+	if u.Iter > 10 { // want `possibly-stale value \(GlobalRead at staleflow\.go:\d+\) gates an early return or break`
+		return 1
+	}
+	for u.Iter < 5 { // want `possibly-stale value .* bounds a loop`
+		u.Iter++
+	}
+	return 0
+}
+
+func indexSinks(n *Node, loc *Location, m map[int64]string, s []float64) {
+	u, _ := n.Read(loc)
+	_ = m[u.Iter] // want `possibly-stale value \(Read at staleflow\.go:\d+\) used as map key`
+	_ = s[u.Iter] // want `possibly-stale value .* used as slice index`
+}
+
+func identitySinks(n *Node, loc *Location, t *Task, iter int64) {
+	u := n.GlobalRead(loc, iter, 2)
+	stale := int(u.Iter)
+	_ = Location{ID: stale}   // want `possibly-stale value .* flows into a Location ID`
+	t.Send(stale, 7, 64, nil) // want `possibly-stale value .* routes a message`
+	t.Send(3, stale, 64, nil) // want `possibly-stale value .* routes a message`
+	panic(fmt.Sprint(stale))  // want `possibly-stale value .* flows into a panic`
+}
+
+func outputSink(n *Node, loc *Location, iter int64) {
+	u := n.GlobalRead(loc, iter, 1)
+	fmt.Println(u.Value) // want `possibly-stale value .* flows into formatted output`
+}
+
+// --- interprocedural flows ---
+
+func producer(n *Node, loc *Location, iter int64) int64 {
+	u := n.GlobalRead(loc, iter, 3)
+	return u.Iter
+}
+
+func viaReturn(n *Node, loc *Location, m map[int64]int) {
+	v := producer(n, loc, 9)
+	_ = m[v] // want `possibly-stale value .* used as map key`
+}
+
+func gateInside(v int64) int {
+	if v > 42 {
+		return 1
+	}
+	return 0
+}
+
+func viaParam(n *Node, loc *Location, iter int64) {
+	u := n.GlobalRead(loc, iter, 2)
+	gateInside(u.Iter) // want `possibly-stale value .* gates an early return or break inside gateInside`
+}
+
+// --- tolerant shapes: no findings ---
+
+//nscc:commutative
+func mergeMax(best *int64, cand int64) {
+	if cand > *best {
+		*best = cand
+	}
+}
+
+func tolerantFlows(n *Node, loc *Location, iter int64) int64 {
+	// Synchronized fetch: constant age 0 is strict coherence.
+	u0 := n.GlobalRead(loc, iter, 0)
+	if u0.Iter > 10 {
+		return 1
+	}
+
+	u := n.GlobalRead(loc, iter, 8)
+	var acc int64
+	acc += u.Iter // order-independent accumulation discharges taint
+	if acc > 100 {
+		return acc
+	}
+
+	var best int64
+	if u.Iter > best { // monotone max merge discharges taint
+		best = u.Iter
+	}
+	if best > 50 {
+		return best
+	}
+
+	mergeMax(&best, u.Iter) // commutative callee tolerates stale operands
+	return 0
+}
+
+func annotatedSource(n *Node, loc *Location, m map[int64]int, iter int64) {
+	u := n.GlobalRead(loc, iter, 4) //nscc:tolerates-stale -- bucketing by stale iter only skews telemetry
+	_ = m[u.Iter]
+}
+
+func annotatedSink(n *Node, loc *Location, m map[int64]int, iter int64) {
+	u := n.GlobalRead(loc, iter, 4)
+	//nscc:tolerates-stale -- map is a scratch histogram, rebuilt each round
+	_ = m[u.Iter]
+}
+
+// A stale-guarded continue only reorders work; not a termination sink.
+func continueOK(n *Node, loc *Location, iter int64) {
+	for i := 0; i < 10; i++ {
+		u := n.GlobalRead(loc, iter, 2)
+		if u.Iter < int64(i) {
+			continue
+		}
+		_ = u
+	}
+}

@@ -1,0 +1,48 @@
+// Package unuseddirective is the golden fixture for directive hygiene:
+// malformed //nscc: comments, unknown analyzer names, and suppressions
+// that swallow nothing.
+package unuseddirective
+
+import "time"
+
+// A directive that earns its keep: it suppresses a wallclock finding
+// on its own line. No report.
+func meteredHost() int64 {
+	return time.Now().UnixNano() //nscc:wallclock -- host-side meter for the fixture
+}
+
+// A directive above the offending line is also live. No report.
+func meteredAbove() time.Time {
+	//nscc:wallclock -- host-side meter for the fixture
+	return time.Now()
+}
+
+// A directive with nothing to suppress.
+func cleanButAnnotated() int {
+	//nscc:wallclock -- nothing on the next line reads the clock // want `//nscc:wallclock suppresses no wallclock finding here`
+	return 42
+}
+
+// A directive naming an analyzer that does not exist.
+func typoName() int {
+	//nscc:wallcock -- typo'd name would silently disable nothing // want `//nscc:wallcock names no known analyzer or marker`
+	return 7
+}
+
+// A malformed directive: empty name list.
+func malformed() int {
+	//nscc: wallclock -- space after the colon makes the list empty // want `malformed //nscc: directive`
+	return 9
+}
+
+// Proof-carrying directives are exempt from the liveness probe.
+
+//nscc:commutative
+func mergeAdd(dst *int, src int) { *dst += src }
+
+// A reconciliation discharge (loc= payload) is consumed by the
+// -simrace-report cross-check even with no static finding here.
+func tolerated() int {
+	//nscc:tolerates-stale loc=fixture-loc -- dynamic tolerance, reconciled against simrace
+	return 11
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import "go/token"
+
+// Unuseddirective is the suite's hygiene check: every //nscc:
+// suppression must parse, must name a known analyzer or marker, and
+// must actually swallow a finding. A directive that suppresses nothing
+// is either a typo (and some real finding is escaping elsewhere) or a
+// leftover from refactored code (and its justification now lies about
+// the code). Two directive classes are proof-carrying rather than
+// suppressive and are exempt from the liveness probe: //nscc:commutative
+// (a proof obligation the commute analyzer verifies) and
+// //nscc:tolerates-stale with a loc=<name> payload (a reconciliation
+// discharge the -simrace-report cross-check consumes even when no
+// static finding exists at the site).
+var Unuseddirective = &Analyzer{
+	Name: "unuseddirective",
+	Doc: "//nscc: directives that are malformed, name an unknown analyzer, " +
+		"or suppress no finding",
+}
+
+// The run body references All() (which includes Unuseddirective), so it
+// is attached in init to break the initialization cycle.
+func init() {
+	Unuseddirective.Run = func(p *Pass) {
+		pcs := collectDirectives(p.Fset, p.Files)
+		if len(pcs) == 0 {
+			return
+		}
+		known := map[string]bool{commuteMarker: true}
+		for _, a := range All() {
+			known[a.DirectiveName()] = true
+		}
+		wanted := map[string]bool{} // directive names needing a liveness probe
+		for _, pc := range pcs {
+			if pc.dir == nil {
+				continue
+			}
+			for _, name := range pc.dir.Names {
+				if known[name] {
+					wanted[name] = true
+				}
+			}
+		}
+		// Probe: re-run each referenced analyzer with the suppression
+		// observer wired in, collecting the lines where a directive
+		// actually swallowed a finding.
+		suppressedLines := map[string]map[int]map[string]bool{} // file -> line -> name
+		credit := func(name, file string, line int) {
+			if suppressedLines[file] == nil {
+				suppressedLines[file] = map[int]map[string]bool{}
+			}
+			if suppressedLines[file][line] == nil {
+				suppressedLines[file][line] = map[string]bool{}
+			}
+			suppressedLines[file][line][name] = true
+		}
+		for _, a := range All() {
+			name := a.DirectiveName()
+			if a.Name == Unuseddirective.Name || !wanted[name] {
+				continue
+			}
+			if a.Match != nil && !a.Match(p.Pkg.Path()) {
+				continue // directives for a non-applicable analyzer stay uncredited
+			}
+			probe := NewPass(a, p.Fset, p.Files, p.Pkg, p.TypesInfo, p.Prog)
+			aname := name
+			probe.OnSuppress = func(pos token.Position) { credit(aname, pos.Filename, pos.Line) }
+			a.Run(probe)
+		}
+		used := func(name, file string, line int) bool {
+			// A directive on line D suppresses findings on D (trailing
+			// comment) and on D+1 (comment above the code).
+			if m := suppressedLines[file]; m != nil {
+				if m[line][name] || m[line+1][name] {
+					return true
+				}
+			}
+			return false
+		}
+		for _, pc := range pcs {
+			if pc.err != nil {
+				p.Reportf(pc.rawPos, "malformed //nscc: directive: %v", pc.err)
+				continue
+			}
+			for _, name := range pc.dir.Names {
+				switch {
+				case !known[name]:
+					p.Reportf(pc.dir.Pos, "//nscc:%s names no known analyzer or marker; known: %s", name, knownList())
+				case name == commuteMarker:
+					// Proof obligation; the commute analyzer checks it.
+				case name == Staleflow.DirectiveName() && len(pc.dir.Locs()) > 0:
+					// Reconciliation discharge; consumed by -simrace-report.
+				case name == Unuseddirective.Name:
+					// Suppressing this check itself; liveness would recurse.
+				case !used(name, pc.pos.Filename, pc.pos.Line):
+					p.Reportf(pc.dir.Pos, "//nscc:%s suppresses no %s finding here; delete the directive or move it to the offending line", name, name)
+				}
+			}
+		}
+	}
+}
+
+// knownList renders the accepted directive names for the unknown-name
+// message.
+func knownList() string {
+	out := commuteMarker
+	for _, a := range All() {
+		out += ", " + a.DirectiveName()
+	}
+	return out
+}

@@ -578,6 +578,7 @@ func RunParallel(cfg ParallelConfig) (ParallelResult, error) {
 	}
 	if rc != nil {
 		res.Telemetry.Races = rc.Telemetry()
+		res.Telemetry.RaceLocations = rc.Report().Locations
 	}
 	if cfg.Series != nil {
 		// Copy the warp series into the set as gauge "pvm.warp" (one
@@ -700,6 +701,7 @@ func (w *worker) run(onExit func(sim.Time)) {
 				// iterations behind before we start iteration t.
 				for q := 0; q < cfg.P; q++ {
 					if q != w.p {
+						//nscc:tolerates-stale loc=progress -- pacing throttle only; the value is discarded and lag is repaired by rollback
 						w.node.GlobalRead(w.topo.progLocs[q], t-1, cfg.Age)
 					}
 				}
@@ -765,6 +767,7 @@ func (w *worker) syncIteration(t int64) {
 		// have no remote parents by construction.
 		if ph > 0 {
 			for _, src := range w.sources {
+				//nscc:tolerates-stale loc=bundle -- age-0 phase barrier; only a -read-timeout degrade returns stale, and recountRepair fixes it
 				w.node.GlobalRead(topo.bundleLocs[src][w.p], topo.syncStamp(t, ph-1), 0)
 			}
 		}
@@ -1079,6 +1082,8 @@ func (w *worker) contribAt(t int64) (acc, hit bool) {
 // advanceCount folds iterations [cntWM, wm) into the incremental
 // counters. Together with the setEvBit/recountRepair adjustments this
 // keeps (cntHits, cntAcc) equal to countUpTo(cntWM) at all times.
+//
+//nscc:commutative
 func (w *worker) advanceCount(wm int64) {
 	for t := w.cntWM; t < wm; t++ {
 		acc, hit := w.contribAt(t)

@@ -166,6 +166,15 @@ type RaceObserver interface {
 	ObserveRead(ReadInfo)
 }
 
+// LocationObserver is optionally implemented by a RaceObserver that
+// wants location identities (the simrace checker uses them to report
+// per-location classifications under their application-level names,
+// which is what the static reconciliation joins against). Register
+// announces each location to it.
+type LocationObserver interface {
+	ObserveLocation(id int, name string)
+}
+
 // Options configure a Node.
 type Options struct {
 	// Window bounds the writer's in-flight update frames; writes beyond
@@ -338,6 +347,9 @@ func (n *Node) Register(loc *Location) {
 		panic(fmt.Sprintf("core: location %d registered twice", loc.ID))
 	}
 	n.locs[loc.ID] = loc
+	if lo, ok := n.opts.Races.(LocationObserver); ok {
+		lo.ObserveLocation(loc.ID, loc.Name)
+	}
 }
 
 // Write publishes value as the iteration iter value of loc. One update

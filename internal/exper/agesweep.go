@@ -8,6 +8,7 @@ import (
 	"nscc/internal/core"
 	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
+	"nscc/internal/metrics"
 	"nscc/internal/netsim"
 	"nscc/internal/runner"
 	"nscc/internal/sim"
@@ -37,6 +38,11 @@ type AgeSweepResult struct {
 	P       int
 	Rows    []AgeSweepRow
 	Dynamic []AgeSweepRow // one per load, run-time-adapted age
+	// RaceLocations is the per-location race classification merged over
+	// every cell of the sweep (filled only when Options.SimRace); its
+	// merged rows feed the -simrace-out report and the nscc-lint
+	// reconciliation.
+	RaceLocations []metrics.LocationRace
 }
 
 // ageSweepAges is a denser grid than the paper's figure set, to resolve
@@ -117,11 +123,12 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 	// dynamic-age pseudo-point. Fields exported: checkpoint-journal
 	// payload.
 	type cellOut struct {
-		Comp      sim.Duration `json:"comp"`
-		Blocked   sim.Duration `json:"blocked"`
-		Warp      float64      `json:"warp"`
-		Tolerated int64        `json:"tolerated,omitempty"`
-		Unbounded int64        `json:"unbounded,omitempty"`
+		Comp      sim.Duration           `json:"comp"`
+		Blocked   sim.Duration           `json:"blocked"`
+		Warp      float64                `json:"warp"`
+		Tolerated int64                  `json:"tolerated,omitempty"`
+		Unbounded int64                  `json:"unbounded,omitempty"`
+		Locs      []metrics.LocationRace `json:"locs,omitempty"`
 	}
 	nAges := len(ageSweepAges) + 1
 	cellAge := func(ai int) (age int64, dynamic bool) {
@@ -176,6 +183,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 			out := cellOut{Comp: r.Completion, Blocked: r.BlockedTime, Warp: r.WarpMean}
 			if rt := r.Telemetry.Races; rt != nil {
 				out.Tolerated, out.Unbounded = rt.ToleratedStale, rt.Unbounded
+				out.Locs = r.Telemetry.RaceLocations
 			}
 			return out, nil
 		}))
@@ -202,6 +210,7 @@ func AgeSweep(w io.Writer, opts Options, fn *functions.Function, p int, loads []
 				warpSum += out.Warp
 				row.Tolerated += out.Tolerated
 				row.Unbounded += out.Unbounded
+				res.RaceLocations = metrics.MergeLocationRaces(res.RaceLocations, out.Locs)
 			}
 			row.Speedup = ratio(serialSum, compSum)
 			row.Warp = warpSum / float64(nTrials)

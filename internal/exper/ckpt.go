@@ -15,7 +15,7 @@ import (
 // journaled struct (trialOut, bayesTrialOut, ageRefOut, ageCellOut,
 // Table2Row) or the semantics of a cell change, so stale journals
 // invalidate instead of replaying wrong bytes.
-const ckptSchema = 1
+const ckptSchema = 2
 
 // sweepSpace fingerprints everything outside a cell's own coordinates
 // that determines its result: the schema version, the sweep identity,

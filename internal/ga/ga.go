@@ -399,6 +399,8 @@ func (d *Deme) BestK(k int) []Individual {
 // (§4.2.1: "each processor then replaces the worst individuals in its
 // subpopulation with these migrants"). Migrants arrive with their
 // sender-computed fitness, so no re-evaluation is charged.
+//
+//nscc:commutative
 func (d *Deme) ReplaceWorst(migrants []Individual) {
 	if len(migrants) == 0 {
 		return

@@ -375,12 +375,14 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 								pool = append(pool, vs...)
 							}
 						case core.Async:
+							//nscc:tolerates-stale loc=migrants -- stale migrants only delay selection pressure (§4.2.1); ReplaceWorst is order-free
 							if u, ok := node.Read(locs[j]); ok {
 								if vs, ok := u.Value.([]Individual); ok {
 									pool = append(pool, vs...)
 								}
 							}
 						case core.NonStrict:
+							//nscc:tolerates-stale loc=migrants -- the Global_Read age bound is the tolerance contract; simrace classifies the residue
 							u := node.GlobalRead(locs[j], gen, age)
 							if vs, ok := u.Value.([]Individual); ok {
 								pool = append(pool, vs...)
@@ -468,6 +470,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	}
 	if rc != nil {
 		res.Telemetry.Races = rc.Telemetry()
+		res.Telemetry.RaceLocations = rc.Report().Locations
 	}
 	if cfg.Series != nil {
 		// Copy the warp series into the set as gauge "pvm.warp" (one

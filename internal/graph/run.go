@@ -403,8 +403,10 @@ func Run(cfg Config) (Result, error) {
 						u = node.GlobalRead(locs[src], iter, 0)
 						ok = u.Iter != core.NoValue
 					case core.Async:
+						//nscc:tolerates-stale loc=state -- Jacobi merge is monotone per vertex; stale views only slow convergence
 						u, ok = node.Read(locs[src])
 					case core.NonStrict:
+						//nscc:tolerates-stale loc=state -- the Global_Read age bound is the tolerance contract; simrace classifies the residue
 						u = node.GlobalRead(locs[src], iter, cfg.Age)
 						ok = u.Iter != core.NoValue
 					}
@@ -525,6 +527,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	if rc != nil {
 		res.Telemetry.Races = rc.Telemetry()
+		res.Telemetry.RaceLocations = rc.Report().Locations
 	}
 	if cfg.Series != nil {
 		serWarp := cfg.Series.Gauge("pvm.warp")

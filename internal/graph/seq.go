@@ -90,6 +90,8 @@ func initValues(algo Algo, n int) []float64 {
 // sequential oracle call this same function, so the per-vertex float
 // operation order is identical everywhere by construction; only the
 // freshness of the view differs between coherence disciplines.
+//
+//nscc:commutative
 func step(g *Graph, algo Algo, view, out []float64, lo, hi int) (residual float64, frontier int64) {
 	switch algo {
 	case PageRank:

@@ -1,6 +1,10 @@
 package metrics
 
-import "nscc/internal/sim"
+import (
+	"sort"
+
+	"nscc/internal/sim"
+)
 
 // TaskTelemetry is one task's time and traffic accounting for a run:
 // the message-layer counters (messages and bytes in each direction, the
@@ -57,6 +61,106 @@ type RaceTelemetry struct {
 
 // Races reports the total racy reads (tolerated + unbounded).
 func (r *RaceTelemetry) Races() int64 { return r.ToleratedStale + r.Unbounded }
+
+// RaceReportSchema versions the -simrace-out report consumed by
+// nscc-lint -simrace-report.
+const RaceReportSchema = "nscc-simrace-report/v1"
+
+// LocationRace is one DSM location's slice of the race classification:
+// the same verdict counters as RaceTelemetry, attributed to the named
+// location. The static staleflow analyzer discharges tolerated flows
+// per location name (//nscc:tolerates-stale loc=<name>), and the
+// reconciliation cross-check joins these dynamic rows against those
+// annotations.
+type LocationRace struct {
+	ID             int    `json:"id"`
+	Name           string `json:"name"`
+	Writes         int64  `json:"writes"`
+	Reads          int64  `json:"reads"`
+	Synchronized   int64  `json:"synchronized"`
+	ToleratedStale int64  `json:"tolerated_stale"`
+	Unbounded      int64  `json:"unbounded"`
+	NoValue        int64  `json:"no_value,omitempty"`
+	MaxLag         int64  `json:"max_lag,omitempty"`
+}
+
+// RaceReport is the per-run (or per-sweep, after merging) simrace
+// verdict in its serialized form.
+type RaceReport struct {
+	Schema    string         `json:"schema"`
+	Totals    RaceTelemetry  `json:"totals"`
+	Locations []LocationRace `json:"locations"`
+}
+
+// MergeLocationRaces folds src's rows into dst (matching by location
+// id and name — distinct sweep cells re-register the same topology)
+// and returns dst sorted by id then name. Counters add; MaxLag takes
+// the maximum.
+func MergeLocationRaces(dst, src []LocationRace) []LocationRace {
+	type key struct {
+		id   int
+		name string
+	}
+	idx := map[key]int{}
+	for i, r := range dst {
+		idx[key{r.ID, r.Name}] = i
+	}
+	for _, r := range src {
+		k := key{r.ID, r.Name}
+		i, ok := idx[k]
+		if !ok {
+			idx[k] = len(dst)
+			dst = append(dst, r)
+			continue
+		}
+		d := &dst[i]
+		d.Writes += r.Writes
+		d.Reads += r.Reads
+		d.Synchronized += r.Synchronized
+		d.ToleratedStale += r.ToleratedStale
+		d.Unbounded += r.Unbounded
+		d.NoValue += r.NoValue
+		if r.MaxLag > d.MaxLag {
+			d.MaxLag = r.MaxLag
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].ID != dst[j].ID {
+			return dst[i].ID < dst[j].ID
+		}
+		return dst[i].Name < dst[j].Name
+	})
+	return dst
+}
+
+// RaceReport assembles the run's serializable race report (the
+// -simrace-out artifact nscc-lint -simrace-report consumes), or nil if
+// the run was executed without race checking.
+func (t *Telemetry) RaceReport() *RaceReport {
+	if t.Races == nil {
+		return nil
+	}
+	return &RaceReport{Schema: RaceReportSchema, Totals: *t.Races, Locations: t.RaceLocations}
+}
+
+// TotalsFromLocations derives sweep-level totals from merged location
+// rows: counters sum, MaxLag takes the maximum. (TimedOut is not
+// attributed per location and stays zero.)
+func TotalsFromLocations(locs []LocationRace) RaceTelemetry {
+	var t RaceTelemetry
+	for _, l := range locs {
+		t.Writes += l.Writes
+		t.Reads += l.Reads
+		t.Synchronized += l.Synchronized
+		t.ToleratedStale += l.ToleratedStale
+		t.Unbounded += l.Unbounded
+		t.NoValue += l.NoValue
+		if l.MaxLag > t.MaxLag {
+			t.MaxLag = l.MaxLag
+		}
+	}
+	return t
+}
 
 // CacheTelemetry is the checkpoint cache's accounting over a sweep (or
 // a whole run, when aggregated across sweeps): cells replayed from the
@@ -115,6 +219,10 @@ type Telemetry struct {
 	// Races is the simulated-time race classifier's summary; nil unless
 	// the run was executed with race checking on.
 	Races *RaceTelemetry `json:"races,omitempty"`
+
+	// RaceLocations is the per-location breakdown of Races (one row per
+	// registered DSM location); empty unless race checking was on.
+	RaceLocations []LocationRace `json:"race_locations,omitempty"`
 
 	// Cache is the checkpoint cache's hit/miss accounting; nil unless
 	// the run was executed with a cache directory configured.

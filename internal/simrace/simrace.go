@@ -68,12 +68,14 @@ type Checker struct {
 	clocks [][]int64
 	latest map[int]*writeRec
 	counts metrics.RaceTelemetry
+	locs   map[int]*metrics.LocationRace
 }
 
 // New returns a checker for runs on the given engine (the engine
 // supplies virtual timestamps and the run's tracer).
 func New(eng *sim.Engine) *Checker {
-	return &Checker{eng: eng, latest: make(map[int]*writeRec)}
+	return &Checker{eng: eng, latest: make(map[int]*writeRec),
+		locs: make(map[int]*metrics.LocationRace)}
 }
 
 // Attach wires the checker into the machine's message hooks, composing
@@ -103,6 +105,37 @@ func (c *Checker) Counts() metrics.RaceTelemetry { return c.counts }
 func (c *Checker) Telemetry() *metrics.RaceTelemetry {
 	t := c.counts
 	return &t
+}
+
+// ObserveLocation implements core.LocationObserver: locations announce
+// their application-level names at Register time, so the per-location
+// verdicts report "migrants" or "state", not bare ids.
+func (c *Checker) ObserveLocation(id int, name string) {
+	ls := c.locStat(id)
+	if ls.Name == "" {
+		ls.Name = name
+	}
+}
+
+// locStat returns (allocating on first sight) location id's counters.
+func (c *Checker) locStat(id int) *metrics.LocationRace {
+	ls := c.locs[id]
+	if ls == nil {
+		ls = &metrics.LocationRace{ID: id}
+		c.locs[id] = ls
+	}
+	return ls
+}
+
+// Report returns the serializable per-run verdict: totals plus the
+// per-location classification rows, sorted by location id.
+func (c *Checker) Report() metrics.RaceReport {
+	rows := make([]metrics.LocationRace, 0, len(c.locs))
+	for _, ls := range c.locs { //nscc:maporder -- MergeLocationRaces sorts the rows by id below
+		rows = append(rows, *ls)
+	}
+	rows = metrics.MergeLocationRaces(nil, rows)
+	return metrics.RaceReport{Schema: metrics.RaceReportSchema, Totals: c.counts, Locations: rows}
 }
 
 // vc returns task id's clock, growing the table as tasks appear.
@@ -177,6 +210,7 @@ func (c *Checker) onRecv(dst int, msg *pvm.Message) {
 // writer's post-tick clock.
 func (c *Checker) ObserveWrite(task, loc int, iter int64) {
 	c.counts.Writes++
+	c.locStat(loc).Writes++
 	clk := snapshot(c.tick(task))
 	rec := c.latest[loc]
 	if rec == nil {
@@ -193,20 +227,26 @@ func (c *Checker) ObserveRead(ri core.ReadInfo) {
 	if ri.TimedOut {
 		c.counts.TimedOut++
 	}
+	ls := c.locStat(ri.Loc)
 	if !ri.HasValue {
 		c.counts.NoValue++
+		ls.NoValue++
 		return
 	}
 	c.counts.Reads++
+	ls.Reads++
 	cls := c.classify(ri)
 	switch cls {
 	case Synchronized:
 		c.counts.Synchronized++
+		ls.Synchronized++
 		return
 	case ToleratedStale:
 		c.counts.ToleratedStale++
+		ls.ToleratedStale++
 	case Unbounded:
 		c.counts.Unbounded++
+		ls.Unbounded++
 	}
 	if tr := c.eng.Tracer(); tr != nil {
 		tr.Emit(trace.Event{TS: int64(c.eng.Now()), Ph: trace.PhaseInstant,
@@ -243,8 +283,12 @@ func (c *Checker) classify(ri core.ReadInfo) Class {
 		// Reader-observed staleness of the racy read. (The write-side
 		// distance maxIter−GotIter would be polluted by the applications'
 		// exit-sentinel stamps, which are deliberately astronomical.)
-		if lag := ri.CurIter - ri.GotIter; lag > c.counts.MaxLag {
+		lag := ri.CurIter - ri.GotIter
+		if lag > c.counts.MaxLag {
 			c.counts.MaxLag = lag
+		}
+		if ls := c.locStat(ri.Loc); lag > ls.MaxLag {
+			ls.MaxLag = lag
 		}
 	}
 	if ri.Bounded && !ri.TimedOut {
