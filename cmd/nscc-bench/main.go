@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4|agesweep|micro] [-profile quick|full]
+//	nscc-bench [-exp all|table1|table2|fig1|fig2|fig3|fig4|agesweep|scale|micro] [-profile quick|full]
 //	           [-trials N] [-gens N] [-procs 2,4,8,16] [-funcs 1,2,...] [-seed N]
+//	           [-nodes 64,256,1000] [-topologies broadcast,gossip-random]
 //	           [-workers N] [-bench-out BENCH_name.json]
 //	           [-cache-dir DIR] [-resume] [-http :8080]
 //	           [-faults plan.json] [-reliable] [-read-timeout 50ms] [-loss P]
@@ -43,6 +44,7 @@ import (
 	"nscc/internal/ckpt"
 	"nscc/internal/exper"
 	"nscc/internal/faults"
+	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/metrics"
 	"nscc/internal/obs"
@@ -54,7 +56,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, agesweep, micro (microbenchmarks only, requires -bench-out)")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, fig1, fig2, fig3, fig4, agesweep, scale, micro (microbenchmarks only, requires -bench-out)")
 		profile  = flag.String("profile", "quick", "quick or full")
 		trials   = flag.Int("trials", 0, "override trial count")
 		gens     = flag.Int64("gens", 0, "override synchronous GA generations")
@@ -66,6 +68,8 @@ func main() {
 		trOut    = flag.String("trace-out", "", "run the instrumented demo instead of the suite and write its Chrome trace_event JSON here")
 		metOut   = flag.String("metrics-out", "", "run the instrumented demo instead of the suite and write its telemetry JSON here")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		nodesF   = flag.String("nodes", "", "scale sweep island counts, e.g. 64,256,1000,5000 (-exp scale; default 64,256,1000)")
+		toposF   = flag.String("topologies", "", "scale sweep dissemination topologies, e.g. broadcast,gossip-random (-exp scale; default all)")
 		benchOut = flag.String("bench-out", "", "write a BENCH_*.json performance snapshot to this path")
 		cacheDir = flag.String("cache-dir", "", "journal every completed sweep cell into crash-safe per-sweep journals under this directory")
 		resume   = flag.Bool("resume", false, "replay cells already journaled in -cache-dir instead of recomputing them (requires -cache-dir)")
@@ -331,6 +335,43 @@ func main() {
 				fmt.Printf("wrote %s\n", *raceOut)
 			}
 			return nil
+		})
+	}
+	// The scale sweep is not part of "all": its 1000+-node cells cost
+	// more than the whole paper reproduction, so it runs only on
+	// explicit request.
+	if *exp == "scale" {
+		matched = true
+		var nodes []int
+		if *nodesF != "" {
+			for _, s := range strings.Split(*nodesF, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "bad -nodes entry %q\n", s)
+					os.Exit(2)
+				}
+				nodes = append(nodes, n)
+			}
+		}
+		var topos []ga.Topology
+		if *toposF != "" {
+			for _, s := range strings.Split(*toposF, ",") {
+				topo, err := ga.ParseTopology(strings.TrimSpace(s))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				topos = append(topos, topo)
+			}
+		}
+		run("Scale sweep", exper.ScaleSweepCells(opts, nodes, topos), func() error {
+			rows, err := exper.ScaleSweep(os.Stdout, opts, nodes, topos)
+			if err != nil {
+				return err
+			}
+			return writeCSV(*csvDir, "scalesweep.csv", func(w io.Writer) error {
+				return exper.WriteScaleRowsCSV(w, rows)
+			})
 		})
 	}
 	// -exp micro runs only the standard DES microbenchmarks — the

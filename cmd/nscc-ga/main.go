@@ -24,27 +24,29 @@ import (
 
 func main() {
 	var (
-		fnNo     = flag.Int("func", 1, "test function number (1..8, Table 1)")
-		procs    = flag.Int("procs", 4, "number of islands / processors")
-		mode     = flag.String("mode", "global_read", "sync, async, or global_read")
-		age      = flag.Int64("age", 10, "Global_Read staleness bound (generations)")
-		gens     = flag.Int64("gens", 200, "synchronous generations / quality-reference budget")
-		load     = flag.Float64("load", 0, "background loader rate in bits/s (0 = unloaded)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		window   = flag.Int("window", 0, "DSM write window (0 = unlimited); enables coalescing ablation")
-		gray     = flag.Bool("gray", false, "use reflected Gray coding for chromosomes")
-		topology = flag.String("topology", "broadcast", "migration topology: broadcast or ring")
-		interval = flag.Int64("interval", 1, "migrate every N generations")
-		swFabric = flag.Bool("switch", false, "run on the SP2-style crossbar switch instead of the Ethernet")
-		dynAge   = flag.Bool("dynage", false, "adapt the Global_Read age at run time")
-		trOut    = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
-		metOut   = flag.String("metrics-out", "", "write the run's telemetry JSON to this file")
-		faultsF  = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
-		reliable = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
-		readTo   = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
-		simRace  = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
-		raceOut  = flag.String("simrace-out", "", "write the per-location race report JSON to this file (requires -simrace; feed it to nscc-lint -simrace-report)")
-		httpAddr = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
+		fnNo       = flag.Int("func", 1, "test function number (1..8, Table 1)")
+		procs      = flag.Int("procs", 4, "number of islands / processors")
+		mode       = flag.String("mode", "global_read", "sync, async, or global_read")
+		age        = flag.Int64("age", 10, "Global_Read staleness bound (generations)")
+		gens       = flag.Int64("gens", 200, "synchronous generations / quality-reference budget")
+		load       = flag.Float64("load", 0, "background loader rate in bits/s (0 = unloaded)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		window     = flag.Int("window", 0, "DSM write window (0 = unlimited); enables coalescing ablation")
+		gray       = flag.Bool("gray", false, "use reflected Gray coding for chromosomes")
+		topology   = flag.String("topology", "broadcast", "migration topology: broadcast, ring, gossip-ring, gossip-random, or gossip-clustered")
+		interval   = flag.Int64("interval", 1, "migrate every N generations")
+		swFabric   = flag.Bool("switch", false, "run on the SP2-style crossbar switch instead of the Ethernet")
+		hierFabric = flag.Bool("hier", false, "run on the hierarchical rack/spine fabric (racks of shared buses behind store-and-forward uplinks)")
+		rackSize   = flag.Int("rack-size", 0, "nodes per rack bus on the hierarchical fabric (0 = default 32)")
+		dynAge     = flag.Bool("dynage", false, "adapt the Global_Read age at run time")
+		trOut      = flag.String("trace-out", "", "write the run's Chrome trace_event JSON to this file")
+		metOut     = flag.String("metrics-out", "", "write the run's telemetry JSON to this file")
+		faultsF    = flag.String("faults", "", "apply the fault plan in this JSON file to the simulated cluster")
+		reliable   = flag.Bool("reliable", false, "use sequence-numbered ack/retransmit message delivery")
+		readTo     = flag.Duration("read-timeout", 0, "bound Global_Read blocking in virtual time (e.g. 50ms; 0 = wait forever)")
+		simRace    = flag.Bool("simrace", false, "classify every cross-process read with the simulated-time race checker")
+		raceOut    = flag.String("simrace-out", "", "write the per-location race report JSON to this file (requires -simrace; feed it to nscc-lint -simrace-report)")
+		httpAddr   = flag.String("http", "", "serve the live status page, OpenMetrics /metrics, and /debug/pprof on this address (e.g. :8080); strictly observer-side, results are unchanged")
 	)
 	flag.Parse()
 
@@ -93,18 +95,22 @@ func main() {
 		}
 		cfg.Faults = plan
 	}
-	switch *topology {
-	case "broadcast":
-		cfg.Topology = ga.Broadcast
-	case "ring":
-		cfg.Topology = ga.Ring
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topology)
+	topo, err := ga.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg.Topology = topo
 	if *swFabric {
 		sw := netsim.DefaultSwitchConfig()
 		cfg.Switch = &sw
+	}
+	if *hierFabric {
+		h := netsim.DefaultHierConfig()
+		if *rackSize > 0 {
+			h.RackSize = *rackSize
+		}
+		cfg.Hier = &h
 	}
 	switch *mode {
 	case "sync":

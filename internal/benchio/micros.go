@@ -25,7 +25,10 @@ type NamedMicro struct {
 func StandardMicros() []NamedMicro {
 	return []NamedMicro{
 		{Name: "sim.SleepLoop", Fn: microSleepLoop},
+		{Name: "sim.QueueHold100k", Fn: microQueueHoldCalendar},
+		{Name: "sim.QueueHold100kHeap", Fn: microQueueHoldHeap},
 		{Name: "pvm.PingPong", Fn: microPingPong},
+		{Name: "pvm.Bcast1000", Fn: microBcast1000},
 		{Name: "ga.IslandShortRun", Fn: microIslandRun},
 	}
 }
@@ -42,6 +45,27 @@ func microSleepLoop(b *testing.B) {
 	if err := eng.Run(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// microQueueHoldCalendar runs the hold model (steady-state pop-min +
+// reinsert) on the engine's calendar queue at the pending population a
+// multi-thousand-node run sustains. sim.HoldBench drives the queue
+// bare, so each op is exactly one pop + one insert — the same work its
+// heap twin below performs.
+func microQueueHoldCalendar(b *testing.B) {
+	b.ReportAllocs()
+	hb := sim.NewHoldBench(100000, 1)
+	b.ResetTimer()
+	hb.Ops(b.N)
+}
+
+// microQueueHoldHeap is the same hold model on the pre-calendar binary
+// heap, the baseline the calendar queue is gated against.
+func microQueueHoldHeap(b *testing.B) {
+	b.ReportAllocs()
+	hb := sim.NewHoldHeapBench(100000, 1)
+	b.ResetTimer()
+	hb.Ops(b.N)
 }
 
 func microPingPong(b *testing.B) {
@@ -63,6 +87,41 @@ func microPingPong(b *testing.B) {
 			t.Send(0, 2, 64, nil)
 		}
 	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// microBcast1000 is the gossip-round shape of a scaled cluster: one
+// task broadcasting to 999 peers that each ack. Its allocs/op is the
+// perf-gate sentinel for the O(n²)-payload-copy regression — Bcast must
+// reuse its destination scratch and share one pooled Message across the
+// fan-out.
+func microBcast1000(b *testing.B) {
+	b.ReportAllocs()
+	const p = 1000
+	eng := sim.NewEngine(1)
+	net := netsim.New(eng, netsim.DefaultConfig())
+	pvmCfg := pvm.DefaultConfig()
+	pvmCfg.Pooling = true
+	m := pvm.NewMachine(eng, net, pvmCfg)
+	m.Spawn("root", func(t *pvm.Task) {
+		for i := 0; i < b.N; i++ {
+			t.Bcast(1, 64, nil)
+			for j := 1; j < p; j++ {
+				t.Recv(pvm.Any, 2)
+			}
+		}
+	})
+	for j := 1; j < p; j++ {
+		m.Spawn("leaf", func(t *pvm.Task) {
+			for i := 0; i < b.N; i++ {
+				t.Recv(0, 1)
+				t.Send(0, 2, 8, nil)
+			}
+		})
+	}
 	b.ResetTimer()
 	if err := eng.Run(); err != nil {
 		b.Fatal(err)

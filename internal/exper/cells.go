@@ -2,6 +2,7 @@ package exper
 
 import (
 	"nscc/internal/bayes"
+	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/graph"
 )
@@ -43,6 +44,19 @@ func AgeSweepCells(opts Options, nLoads int) int {
 // algorithms × trials (each cell runs the oracle plus every variant).
 func GraphSweepCells(opts Options, nSpecs int) int {
 	return nSpecs * len(graph.Algos) * opts.Trials
+}
+
+// ScaleSweepCells is the scale sweep's job count: the (node count,
+// topology) grid — minus the Broadcast cells past the saturation cap —
+// times trials. nil axes select the defaults, mirroring ScaleSweep.
+func ScaleSweepCells(opts Options, nodes []int, topos []ga.Topology) int {
+	if nodes == nil {
+		nodes = ScaleSweepNodes
+	}
+	if topos == nil {
+		topos = ScaleTopologies
+	}
+	return len(scalePairs(nodes, topos)) * opts.Trials
 }
 
 func nFns(fns []*functions.Function) int {

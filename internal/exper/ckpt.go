@@ -6,6 +6,7 @@ import (
 
 	"nscc/internal/bayes"
 	"nscc/internal/ckpt"
+	"nscc/internal/ga"
 	"nscc/internal/ga/functions"
 	"nscc/internal/graph"
 	"nscc/internal/runner"
@@ -135,6 +136,19 @@ func graphCellKey(spec string, algo graph.Algo, p, trial int, seed int64) ckpt.K
 	fp.Str("topo", spec)
 	fp.Str("algo", algo.String())
 	fp.I64("p", int64(p))
+	fp.I64("trial", int64(trial))
+	fp.I64("seed", seed)
+	return fp.Sum()
+}
+
+// scaleCellKey fingerprints one (nodes, topology, trial) scale sweep
+// cell and its derived seed. The generation budget is not part of the
+// key: it reaches the cell through Options.SyncGens, which the sweep
+// space fingerprint already covers.
+func scaleCellKey(nodes int, topo ga.Topology, trial int, seed int64) ckpt.Key {
+	fp := cellFingerprint("scalesweep")
+	fp.I64("nodes", int64(nodes))
+	fp.Str("topo", topo.String())
 	fp.I64("trial", int64(trial))
 	fp.I64("seed", seed)
 	return fp.Sum()

@@ -186,6 +186,7 @@ const (
 	seedStreamAge
 	seedStreamTable2
 	seedStreamGraph
+	seedStreamScale
 )
 
 // gaCellSeed derives the seed of one (trial, function, P) GA cell. The

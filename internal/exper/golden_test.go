@@ -41,6 +41,7 @@ const (
 	goldenTable2  = "eed4d4191e467e8b40e81748373f36b1eeb6dd1aac0749385cb304c43b0dbb1b"
 	goldenAge     = "675816817a372c1fd9d0ada215d7c226269bb50b8e0cdcd8e697c717acf9d499"
 	goldenGraph   = "cfbf78218b623e1d07913e845ef7fb59038b13db03d32f36076b87c40167a377"
+	goldenScale   = "386705d3b4929ccf637927e65eda37a1894f38229824e2aa30e866c32264a2ce"
 )
 
 // -update-goldens prints the computed hashes instead of asserting,
@@ -194,14 +195,37 @@ func fingerprintGraphSweep(t *testing.T, workers int) string {
 	return hashOf(buf.Bytes())
 }
 
+func fingerprintScaleSweep(t *testing.T, workers int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	// The scale sweep fixture runs the full topology grid at reduced
+	// node counts and budget; like goldenOpts itself, the shape must
+	// never change (the hash pins its output).
+	opts := goldenOpts(workers)
+	opts.SyncGens = 40
+	rows, err := ScaleSweep(&buf, opts, []int{16, 64}, nil)
+	if err != nil {
+		t.Fatalf("ScaleSweep(workers=%d): %v", workers, err)
+	}
+	if err := WriteScaleRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&buf, "%d %s t=%d g=%s b=%s fb=%s a=%s m=%d d=%d nb=%d q=%d w=%s c=%d\n",
+			r.Nodes, r.Topology, r.Trials, fpFloat(r.Gens), fpFloat(r.Best),
+			fpFloat(r.FinalBest), fpFloat(r.Avg), r.Messages, r.Delivered,
+			r.NetBytes, int64(r.QueueDelay), fpFloat(r.Warp), int64(r.Completion))
+	}
+	return hashOf(buf.Bytes())
+}
+
 func hashOf(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
 }
 
-// TestGoldenSweepFingerprints asserts that all five sweeps reproduce
-// the committed seed-state output byte-for-byte, at workers=1 and
-// workers=8. This is the PR-level determinism gate: a hot-path
+// TestGoldenSweepFingerprints asserts that every sweep reproduces
+// the committed output byte-for-byte, at workers=1 and workers=8. This is the PR-level determinism gate: a hot-path
 // optimization that changes any result byte fails here.
 func TestGoldenSweepFingerprints(t *testing.T) {
 	if testing.Short() {
@@ -218,6 +242,7 @@ func TestGoldenSweepFingerprints(t *testing.T) {
 		{"Table2", goldenTable2, fingerprintTable2},
 		{"AgeSweep", goldenAge, fingerprintAgeSweep},
 		{"GraphSweep", goldenGraph, fingerprintGraphSweep},
+		{"ScaleSweep", goldenScale, fingerprintScaleSweep},
 	}
 	for _, sw := range sweeps {
 		sw := sw

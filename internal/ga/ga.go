@@ -406,7 +406,12 @@ func (d *Deme) ReplaceWorst(migrants []Individual) {
 		return
 	}
 	if len(migrants) > len(d.pop) {
-		migrants = migrants[:len(d.pop)]
+		// Keep the fittest, not the first-arrived: gossip fan-in can
+		// exceed the deme size, and truncating in arrival order would
+		// silently drop fitter migrants (and make the merge depend on
+		// delivery order, breaking the commutativity this method
+		// promises).
+		migrants = bestOfPool(migrants, len(d.pop))
 	}
 	// Worst first.
 	idx := d.idx[:len(d.pop)]

@@ -260,6 +260,57 @@ func TestReplaceWorstEmptyAndOversized(t *testing.T) {
 	}
 }
 
+// TestReplaceWorstOverfullKeepsFittest pins the over-full migrant fix:
+// when more migrants arrive than the deme holds (gossip fan-in times
+// the exchange size can exceed N), ReplaceWorst must install the
+// fittest of the pool, not the first len(pop) in arrival order.
+func TestReplaceWorstOverfullKeepsFittest(t *testing.T) {
+	d := testDeme(t, functions.F1, 13)
+	d.EvaluateAll()
+	n := d.Size()
+	bits := functions.F1.TotalBits()
+	// Fitness strictly improves with arrival position, so arrival-order
+	// truncation would keep exactly the wrong half.
+	pool := make([]Individual, n+30)
+	for i := range pool {
+		pool[i] = Individual{Bits: make([]byte, bits), Fit: float64(1000 - i), Valid: true}
+	}
+	d.ReplaceWorst(pool)
+	wantWorst := pool[30].Fit // the n fittest are pool[30:]
+	for _, ind := range d.pop {
+		if ind.Fit > wantWorst {
+			t.Fatalf("individual with fit %v survived; over-full merge dropped a fitter migrant (worst kept should be %v)",
+				ind.Fit, wantWorst)
+		}
+	}
+	if got := d.CurrentBest(); got != pool[len(pool)-1].Fit {
+		t.Fatalf("current best %v, want fittest migrant %v", got, pool[len(pool)-1].Fit)
+	}
+
+	// Delivery order must not matter (//nscc:commutative): a deme fed
+	// the same pool reversed ends with the same population fitnesses.
+	d2 := testDeme(t, functions.F1, 13)
+	d2.EvaluateAll()
+	rev := make([]Individual, len(pool))
+	for i := range pool {
+		rev[i] = pool[len(pool)-1-i]
+	}
+	d2.ReplaceWorst(rev)
+	fits := func(d *Deme) []float64 {
+		out := make([]float64, 0, d.Size())
+		for _, ind := range d.BestK(d.Size()) {
+			out = append(out, ind.Fit)
+		}
+		return out
+	}
+	a, b := fits(d), fits(d2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("merge not delivery-order-free: rank %d differs (%v vs %v)", i, a[i], b[i])
+		}
+	}
+}
+
 func TestReplaceWorstWrongLengthPanics(t *testing.T) {
 	d := testDeme(t, functions.F1, 12)
 	d.EvaluateAll()

@@ -38,6 +38,17 @@ const (
 	// Ring sends migrants only to the next island (i+1 mod P): far
 	// less traffic, slower mixing.
 	Ring
+	// GossipRing exchanges migrants push-pull with the two ring
+	// neighbors (i±1): the sparsest connected overlay, diameter P/2.
+	GossipRing
+	// GossipRandom exchanges migrants over a ring backbone plus random
+	// chords (symmetric degree ~4, logarithmic diameter) — the classic
+	// gossip overlay, and the recommended topology at 1000+ islands.
+	GossipRandom
+	// GossipClustered exchanges migrants within dense communities
+	// joined by single bridges — the overlay shape of a
+	// rack-partitioned cluster.
+	GossipClustered
 )
 
 func (t Topology) String() string {
@@ -46,6 +57,12 @@ func (t Topology) String() string {
 		return "broadcast"
 	case Ring:
 		return "ring"
+	case GossipRing:
+		return "gossip-ring"
+	case GossipRandom:
+		return "gossip-random"
+	case GossipClustered:
+		return "gossip-clustered"
 	default:
 		return "Topology(?)"
 	}
@@ -110,6 +127,12 @@ type IslandConfig struct {
 	// Switch, if set, runs on an SP2-style crossbar switch instead of
 	// the shared Ethernet.
 	Switch *netsim.SwitchConfig
+	// Hier, if set, runs on the hierarchical rack/spine fabric —
+	// per-rack shared buses behind store-and-forward uplinks — the
+	// interconnect a 1000+-island run needs (a single shared bus
+	// saturates at a few tens of chattering islands). Takes precedence
+	// over Switch.
+	Hier *netsim.HierConfig
 	// LoaderBps, if positive, runs the background network loader at
 	// this offered bit rate on two extra nodes (§5.2).
 	LoaderBps float64
@@ -192,7 +215,9 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	eng := sim.NewEngine(cfg.Seed)
 	eng.SetTracer(cfg.Tracer)
 	var net netsim.Fabric
-	if cfg.Switch != nil {
+	if cfg.Hier != nil {
+		net = netsim.NewHier(eng, *cfg.Hier)
+	} else if cfg.Switch != nil {
 		sw := netsim.NewSwitch(eng, *cfg.Switch)
 		sw.SetSeries(cfg.Series)
 		net = sw
@@ -248,34 +273,22 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 	}
 
 	// Shared locations: island i's migrant block, read by the islands
-	// the topology wires it to.
+	// the topology wires it to (sources[i]: whose blocks island i
+	// reads; the gossip overlays make the relation symmetric).
 	k := cfg.Par.N / 2
 	locs := make([]*core.Location, cfg.P)
-	sources := make([][]int, cfg.P) // per island: whose blocks it reads
+	sources, readers, err := topologySources(cfg.Topology, cfg.P, cfg.Seed)
+	if err != nil {
+		return IslandResult{}, err
+	}
 	members := make([]int, cfg.P)
 	for i := 0; i < cfg.P; i++ {
 		members[i] = i
-		var readers []int
-		switch cfg.Topology {
-		case Ring:
-			if cfg.P > 1 {
-				readers = []int{(i + 1) % cfg.P}
-			}
-		default: // Broadcast
-			for j := 0; j < cfg.P; j++ {
-				if j != i {
-					readers = append(readers, j)
-				}
-			}
-		}
-		for _, r := range readers {
-			sources[r] = append(sources[r], i)
-		}
 		locs[i] = &core.Location{
 			ID:      i,
 			Name:    "migrants",
 			Writer:  i,
-			Readers: readers,
+			Readers: readers[i],
 			Size:    MigrantBlockBytes(cfg.Fn, k),
 		}
 	}
@@ -478,7 +491,7 @@ func RunIsland(cfg IslandConfig) (IslandResult, error) {
 		// carries warp alongside the other windowed series.
 		serWarp := cfg.Series.Gauge("pvm.warp")
 		for w, v := range res.WarpWindows {
-			serWarp.Add(sim.Time(int64(w) * int64(100*sim.Millisecond)), v)
+			serWarp.Add(sim.Time(int64(w)*int64(100*sim.Millisecond)), v)
 		}
 		res.Telemetry.Series = cfg.Series.Summaries()
 	}

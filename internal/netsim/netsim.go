@@ -118,6 +118,12 @@ type Network struct {
 	// the pool holds about as many frames as the peak number in flight
 	// and the per-send path allocates nothing.
 	frames []*frame
+
+	// bcastBuf is Broadcast's reusable destination list. Multicast
+	// copies the slice into the frame before returning, so the buffer
+	// is free for the next call; a simulation step is single-threaded,
+	// so no two broadcasts overlap.
+	bcastBuf []int
 }
 
 // frame is a pooled in-flight transmission: the delivery callback the
@@ -374,12 +380,13 @@ func (n *Network) Multicast(src int, dsts []int, size int, payload interface{}, 
 // Broadcast multicasts payload from src to every other attached node as
 // a single frame on the shared medium.
 func (n *Network) Broadcast(src, size int, payload interface{}) {
-	dsts := make([]int, 0, len(n.handlers)-1)
+	dsts := n.bcastBuf[:0]
 	for dst := range n.handlers {
 		if dst != src {
 			dsts = append(dsts, dst)
 		}
 	}
+	n.bcastBuf = dsts
 	n.Multicast(src, dsts, size, payload, nil)
 }
 

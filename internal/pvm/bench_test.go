@@ -1,6 +1,7 @@
 package pvm
 
 import (
+	"fmt"
 	"testing"
 
 	"nscc/internal/netsim"
@@ -36,31 +37,37 @@ func BenchmarkPingPong(b *testing.B) {
 }
 
 // BenchmarkBcast measures the shared-medium broadcast path (one frame,
-// many receivers) on an 8-task machine.
+// many receivers). The 1000-task case is the gossip-round shape of a
+// scaled cluster: its allocs/op must stay O(1) per broadcast — the old
+// per-call destination slice made it O(n), i.e. O(n²) payload-slot
+// churn per all-to-all round.
 func BenchmarkBcast(b *testing.B) {
-	b.ReportAllocs()
-	eng := sim.NewEngine(1)
-	net := netsim.New(eng, netsim.DefaultConfig())
-	m := NewMachine(eng, net, DefaultConfig())
-	const p = 8
-	m.Spawn("root", func(t *Task) {
-		for i := 0; i < b.N; i++ {
-			t.Bcast(1, 64, nil)
+	for _, p := range []int{8, 1000} {
+		b.Run(fmt.Sprintf("tasks=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.NewEngine(1)
+			net := netsim.New(eng, netsim.DefaultConfig())
+			m := NewMachine(eng, net, DefaultConfig())
+			m.Spawn("root", func(t *Task) {
+				for i := 0; i < b.N; i++ {
+					t.Bcast(1, 64, nil)
+					for j := 1; j < p; j++ {
+						t.Recv(Any, 2)
+					}
+				}
+			})
 			for j := 1; j < p; j++ {
-				t.Recv(Any, 2)
+				m.Spawn("leaf", func(t *Task) {
+					for i := 0; i < b.N; i++ {
+						t.Recv(0, 1)
+						t.Send(0, 2, 8, nil)
+					}
+				})
 			}
-		}
-	})
-	for j := 1; j < p; j++ {
-		m.Spawn("leaf", func(t *Task) {
-			for i := 0; i < b.N; i++ {
-				t.Recv(0, 1)
-				t.Send(0, 2, 8, nil)
+			b.ResetTimer()
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
 			}
 		})
-	}
-	b.ResetTimer()
-	if err := eng.Run(); err != nil {
-		b.Fatal(err)
 	}
 }

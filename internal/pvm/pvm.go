@@ -255,8 +255,9 @@ type Task struct {
 	// single-destination slice and the task-id→node-id translation.
 	// Safe because a task is one process — it cannot be inside two
 	// sends at once — and the fabric does not retain either slice.
-	dst1    [1]int
-	nodeBuf []int
+	dst1     [1]int
+	nodeBuf  []int
+	bcastBuf []int
 
 	sent, received int64
 	stalls         int64 // sends that had to wait for the window
@@ -449,14 +450,18 @@ func (t *Task) Multicast(dsts []int, tag int, size int, data interface{}, onWire
 	t.sent++
 }
 
-// Bcast multicasts to every other task.
+// Bcast multicasts to every other task. The destination list lives in
+// the task's reusable scratch: Multicast (and everything below it, down
+// to the fabric frame) copies what it retains, so at 1000 tasks a
+// gossip round costs one buffer, not O(n) fresh slices per task.
 func (t *Task) Bcast(tag int, size int, data interface{}) {
-	dsts := make([]int, 0, len(t.m.tasks)-1)
+	dsts := t.bcastBuf[:0]
 	for _, other := range t.m.tasks {
 		if other.id != t.id {
 			dsts = append(dsts, other.id)
 		}
 	}
+	t.bcastBuf = dsts
 	if len(dsts) > 0 {
 		t.Multicast(dsts, tag, size, data, nil)
 	}

@@ -59,9 +59,9 @@ type pendingTx struct {
 // relState is a task's reliable-transport state, allocated only when
 // the machine runs with Config.Reliable.
 type relState struct {
-	nextSeq map[int]int64         // sender: next seq per destination
-	pending map[pendKey]*pendingTx // sender: unacked transmissions
-	rxNext  map[int]int64         // receiver: next expected seq per source
+	nextSeq map[int]int64              // sender: next seq per destination
+	pending map[pendKey]*pendingTx     // sender: unacked transmissions
+	rxNext  map[int]int64              // receiver: next expected seq per source
 	rxOO    map[int]map[int64]*Message // receiver: out-of-order buffer per source
 
 	retransmits int64

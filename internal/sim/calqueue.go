@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// calQueue is a calendar queue (Brown 1988) with lazily sorted buckets
+// (the ladder-queue refinement): the pending-event set of a
+// discrete-event simulation, bucketed by time so that steady-state
+// insert and pop-min are O(1) amortized where a binary heap pays
+// O(log n) comparisons through interface dispatch. At the million-event
+// populations a 5k-node run produces, the difference dominates the
+// engine's hot path.
+//
+// Layout: virtual time is cut into "days" of width 1<<shift ns; day d
+// hashes to bucket d & mask. Inserts append to their bucket in O(1);
+// a bucket is sorted by (at, seq) only when the pop scan reaches it
+// (appends that already arrive in order — the common case, since seq
+// is monotone — never even mark it dirty). Equal-time FIFO order — the
+// determinism contract — is preserved exactly: the queue pops the same
+// total order the old heap did, byte for byte. The (at, seq) key is
+// stored inline in the bucket entry, so comparisons, day checks and
+// sorting run over contiguous memory and never chase the *event
+// pointer; that locality is what keeps the hot path fast at
+// populations far beyond cache.
+//
+// Pop scans forward from curDay. A bucket's sorted head is its
+// earliest entry, and an entry of a later "year" (day ≥ curDay +
+// nbuckets) sorts after any current-year entry sharing the bucket, so
+// the first head whose day matches the scan day is the global minimum.
+// If a whole lap of days comes up empty (the population is sparse
+// relative to the day width), a direct search over bucket minima finds
+// the global minimum and the scan jumps there, bounding the worst-case
+// pop at O(nbuckets).
+//
+// Unlike the heap this queue supports removal by identity, which is
+// what lets EventHandle.Cancel reclaim its event eagerly instead of
+// leaving a tombstone to be skipped at pop time: a timeout-heavy run
+// (every GlobalRead deadline, every retransmit timer) stays bounded by
+// the number of genuinely pending events.
+type calQueue struct {
+	buckets []calBucket
+	mask    uint64 // len(buckets)-1; len is a power of two
+	shift   uint   // day width = 1<<shift nanoseconds
+	curDay  uint64 // scan position: no pending event has an earlier day
+	n       int
+	// directs counts direct-search fallbacks since the last rebuild. A
+	// burst of them means the day width underestimates the local
+	// inter-event gap (every pop walks a full empty year), so the queue
+	// resamples the width from the live population.
+	directs int
+}
+
+// calItem is one queued event with its ordering key inlined.
+type calItem struct {
+	at  Time
+	seq uint64
+	ev  *event
+}
+
+// calBucket holds one hash class of entries behind a head offset:
+// popped entries advance head instead of sliding the slice, so
+// draining a burst of equal-time events (a barrier release, a
+// broadcast fan-out) costs O(1) each. items[head:] is sorted by
+// (at, seq) unless dirty, which an out-of-order append sets and the
+// next scan's sort clears.
+//
+// loAt/hiAt cache the live entries' minimum and maximum times in the
+// header, which keeps the hot paths to a single cache line per bucket:
+// an insert decides in-order-ness from hiAt (seq is engine-monotone,
+// so at ≥ hiAt means the append keeps the bucket sorted) and the pop
+// scan decides day membership from loAt, neither touching the items
+// array. Equal times always share a day and hence a bucket, so loAt
+// alone also orders bucket minima in the direct-search fallback.
+type calBucket struct {
+	items []calItem
+	head  int
+	loAt  Time // at of the live minimum; valid when head < len(items)
+	hiAt  Time // at of the live maximum; valid when head < len(items)
+	dirty bool
+}
+
+const (
+	calMinBuckets = 64
+	calMaxBuckets = 1 << 20
+	calMaxShift   = 62
+	// calOcc is the target live entries per bucket. Classic calendar
+	// queues aim for ~1, but on modern hardware the constant is memory
+	// latency, not comparisons: modest occupancy keeps the bucket
+	// arrays a small multiple of the population (less capacity slack
+	// and dead prefix per live entry) and turns day scans into fewer,
+	// denser header touches. Appends within a day stay O(1) via the
+	// in-order fast path and sortLive's insertion sort stays cheap at
+	// this size.
+	calOcc = 8
+)
+
+func itemCmp(a, b calItem) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.seq != b.seq:
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func (q *calQueue) init() {
+	q.buckets = make([]calBucket, calMinBuckets)
+	q.mask = calMinBuckets - 1
+	// 4µs days to start; resize re-estimates the width from the live
+	// population as soon as it grows past the bucket count.
+	q.shift = 12
+}
+
+func (q *calQueue) len() int { return q.n }
+
+func (b *calBucket) insert(it calItem) {
+	// Reclaim the popped prefix once it dominates the slice, so a
+	// bucket that keeps receiving entries while draining (e.g. one
+	// hosting both current traffic and year-wrapped far timers) doesn't
+	// grow without bound.
+	if b.head >= 16 && 2*b.head >= len(b.items) {
+		live := copy(b.items, b.items[b.head:])
+		clear(b.items[live:])
+		b.items = b.items[:live]
+		b.head = 0
+	}
+	if b.head == len(b.items) {
+		b.items = append(b.items[:b.head], it)
+		b.loAt, b.hiAt = it.at, it.at
+		b.dirty = false
+		return
+	}
+	switch {
+	case it.at >= b.hiAt:
+		b.hiAt = it.at
+	case it.at < b.loAt:
+		b.loAt = it.at
+		b.dirty = true
+	default:
+		b.dirty = true
+	}
+	b.items = append(b.items, it)
+}
+
+// sortLive restores the bucket's sorted invariant after out-of-order
+// appends. Each append pays at most one share of one sort, so inserts
+// stay O(1) amortized — the ladder-queue trick that replaces the
+// per-insert memmove of a classically sorted calendar bucket.
+func (b *calBucket) sortLive() {
+	if !b.dirty {
+		return
+	}
+	b.dirty = false
+	live := b.items[b.head:]
+	if len(live) <= 32 {
+		// Buckets are a handful of nearly-sorted entries; insertion
+		// sort is O(k + inversions) with none of the generic sort
+		// call's constant overhead.
+		for i := 1; i < len(live); i++ {
+			it := live[i]
+			j := i - 1
+			for j >= 0 && (live[j].at > it.at || (live[j].at == it.at && live[j].seq > it.seq)) {
+				live[j+1] = live[j]
+				j--
+			}
+			live[j+1] = it
+		}
+	} else {
+		slices.SortFunc(live, itemCmp)
+	}
+	b.loAt = live[0].at
+	b.hiAt = live[len(live)-1].at
+}
+
+// remove deletes the entry with it's key from the bucket. Callers must
+// only pass keys currently in the queue.
+func (b *calBucket) remove(it calItem) {
+	live := b.items[b.head:]
+	var i int
+	if b.dirty {
+		i = -1
+		for j := range live {
+			if live[j].seq == it.seq {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			panic("sim: canceled event not in queue")
+		}
+	} else {
+		var ok bool
+		i, ok = slices.BinarySearchFunc(live, it, itemCmp)
+		if !ok {
+			panic("sim: canceled event not in queue")
+		}
+	}
+	copy(live[i:], live[i+1:])
+	b.items[len(b.items)-1] = calItem{}
+	b.items = b.items[:len(b.items)-1]
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+		return
+	}
+	live = b.items[b.head:]
+	if b.dirty {
+		lo, hi := live[0].at, live[0].at
+		for _, l := range live[1:] {
+			if l.at < lo {
+				lo = l.at
+			}
+			if l.at > hi {
+				hi = l.at
+			}
+		}
+		b.loAt, b.hiAt = lo, hi
+	} else {
+		b.loAt, b.hiAt = live[0].at, live[len(live)-1].at
+	}
+}
+
+func (q *calQueue) insert(ev *event) {
+	if q.buckets == nil {
+		q.init()
+	}
+	d := uint64(ev.at) >> q.shift
+	if q.n == 0 || d < q.curDay {
+		q.curDay = d
+	}
+	q.buckets[d&q.mask].insert(calItem{at: ev.at, seq: ev.seq, ev: ev})
+	q.n++
+	if q.n > 2*calOcc*len(q.buckets) && len(q.buckets) < calMaxBuckets {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// peek returns the earliest pending event without removing it (nil when
+// empty), leaving curDay positioned at that event's day so the
+// following pop finds it at the bucket head in O(1).
+func (q *calQueue) peek() *event {
+	if q.n == 0 {
+		return nil
+	}
+	for lap := 0; lap < len(q.buckets); lap++ {
+		b := &q.buckets[q.curDay&q.mask]
+		if b.head < len(b.items) && uint64(b.loAt)>>q.shift == q.curDay {
+			b.sortLive()
+			return b.items[b.head].ev
+		}
+		q.curDay++
+	}
+	// A full lap of empty days: the population is sparser than the
+	// calendar year. Find the minimum over bucket minima and jump to
+	// it. If this keeps happening the day width is wrong for the
+	// current population (e.g. it was sampled during an equal-time
+	// burst that has since drained); rebuild with a fresh estimate.
+	if q.directs++; q.directs >= 4 {
+		q.directs = 0
+		q.resize(len(q.buckets))
+		return q.peek()
+	}
+	// Equal times share a day and hence a bucket, so comparing loAt
+	// alone totally orders the non-empty buckets' minima.
+	minAt, found := Time(0), false
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		if b.head < len(b.items) && (!found || b.loAt < minAt) {
+			minAt, found = b.loAt, true
+		}
+	}
+	q.curDay = uint64(minAt) >> q.shift
+	return q.peek()
+}
+
+func (q *calQueue) pop() *event {
+	ev := q.peek()
+	if ev == nil {
+		return nil
+	}
+	b := &q.buckets[q.curDay&q.mask]
+	b.items[b.head] = calItem{}
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+	} else {
+		// peek sorted the bucket, so the new head is the live minimum.
+		b.loAt = b.items[b.head].at
+	}
+	q.n--
+	q.maybeShrink()
+	return ev
+}
+
+// remove deletes ev, which must currently be queued (callers gate on
+// the event's inq flag). This is the eager-cancel path.
+func (q *calQueue) remove(ev *event) {
+	q.buckets[(uint64(ev.at)>>q.shift)&q.mask].remove(calItem{at: ev.at, seq: ev.seq, ev: ev})
+	q.n--
+	q.maybeShrink()
+}
+
+func (q *calQueue) maybeShrink() {
+	if len(q.buckets) <= calMinBuckets || 2*q.n >= calOcc*len(q.buckets) {
+		return
+	}
+	if q.n == 0 {
+		q.buckets = make([]calBucket, calMinBuckets)
+		q.mask = calMinBuckets - 1
+		return
+	}
+	q.resize(len(q.buckets) / 2)
+}
+
+// resize rebuilds the calendar with nb buckets and a day width fitted
+// to the live population. The width estimate samples the inter-event
+// gap near the head of the queue — not the global mean, which a heavy
+// tail of far-out timers (retransmits, hour-scale timeouts) inflates
+// until the dense region near now piles into a handful of buckets.
+// Far events wrap around the calendar year and coexist in buckets,
+// which the sorted-bucket pop order handles; what must be right is the
+// density where pops actually happen. The rebuild sorts the whole
+// population once and distributes in order, which leaves every bucket
+// sorted; entry keys (at, seq) are unique, so the result is
+// independent of the previous layout and the rebuild preserves
+// determinism.
+func (q *calQueue) resize(nb int) {
+	all := make([]calItem, 0, q.n)
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		all = append(all, b.items[b.head:]...)
+	}
+	slices.SortFunc(all, itemCmp)
+
+	k := len(all)
+	if k > 1024 {
+		k = 1024
+	}
+	gap := (int64(all[k-1].at) - int64(all[0].at)) / int64(k)
+	if gap < 1 {
+		gap = 1
+	}
+	shift := uint(bits.Len64(uint64(gap) * calOcc))
+	if shift > calMaxShift {
+		shift = calMaxShift
+	}
+	q.shift = shift
+	q.directs = 0
+	q.buckets = make([]calBucket, nb)
+	q.mask = uint64(nb) - 1
+	q.curDay = uint64(all[0].at) >> shift
+	// Distribution happens in global (at, seq) order, so every bucket
+	// receives its entries sorted: insert takes the in-order path and
+	// leaves lo/hi caches consistent and dirty clear.
+	for _, it := range all {
+		q.buckets[(uint64(it.at)>>shift)&q.mask].insert(it)
+	}
+}

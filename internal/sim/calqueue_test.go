@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refModel is the obviously-correct priority queue the calendar queue
+// is differenced against: a slice kept sorted by (at, seq).
+type refModel []*event
+
+func evCmp(a, b *event) int {
+	return itemCmp(calItem{at: a.at, seq: a.seq}, calItem{at: b.at, seq: b.seq})
+}
+
+func (m *refModel) insert(ev *event) {
+	i := sort.Search(len(*m), func(i int) bool { return evCmp((*m)[i], ev) > 0 })
+	*m = append(*m, nil)
+	copy((*m)[i+1:], (*m)[i:])
+	(*m)[i] = ev
+}
+
+func (m *refModel) pop() *event {
+	ev := (*m)[0]
+	*m = (*m)[1:]
+	return ev
+}
+
+func (m *refModel) removeAt(i int) *event {
+	ev := (*m)[i]
+	*m = append((*m)[:i], (*m)[i+1:]...)
+	return ev
+}
+
+// TestCalQueueMatchesReference drives the calendar queue through a long
+// random mix of inserts, pops and identity removals and checks every
+// pop against the reference model. The time distribution mixes dense
+// clusters (equal-time bursts, as barrier releases produce) with long
+// gaps (idle timers), which exercises the lap-scan fallback and both
+// resize directions.
+func TestCalQueueMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q calQueue
+	q.init()
+	var model refModel
+	seq := uint64(0)
+	now := Time(0)
+
+	newEvent := func() *event {
+		var at Time
+		switch rng.Intn(4) {
+		case 0: // same instant burst
+			at = now
+		case 1: // dense near future
+			at = now + Time(rng.Int63n(int64(Microsecond)))
+		case 2: // medium horizon
+			at = now + Time(rng.Int63n(int64(Millisecond)))
+		default: // sparse far future
+			at = now + Time(rng.Int63n(int64(10*Second)))
+		}
+		ev := &event{at: at, seq: seq}
+		seq++
+		return ev
+	}
+
+	for op := 0; op < 200000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(model) == 0:
+			ev := newEvent()
+			q.insert(ev)
+			model.insert(ev)
+		case r < 8:
+			want := model.pop()
+			got := q.pop()
+			if got != want {
+				t.Fatalf("op %d: pop got (at=%d seq=%d) want (at=%d seq=%d)",
+					op, got.at, got.seq, want.at, want.seq)
+			}
+			now = got.at
+		default:
+			ev := model.removeAt(rng.Intn(len(model)))
+			q.remove(ev)
+		}
+		if q.len() != len(model) {
+			t.Fatalf("op %d: len %d want %d", op, q.len(), len(model))
+		}
+	}
+	for len(model) > 0 {
+		want := model.pop()
+		if got := q.pop(); got != want {
+			t.Fatalf("drain: pop got (at=%d seq=%d) want (at=%d seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue returned an event")
+	}
+}
+
+// TestCancelReclaimsEagerly pins the fix for the canceled-event leak:
+// canceled events used to stay in the heap as tombstones until their
+// deadline passed, so a cancel-heavy run grew the queue without bound.
+// Cancel must now remove and recycle immediately.
+func TestCancelReclaimsEagerly(t *testing.T) {
+	eng := NewEngine(1)
+	for i := 0; i < 100000; i++ {
+		h := eng.Schedule(Time(Second), func() { t.Error("canceled event fired") })
+		h.Cancel()
+		if p := eng.Pending(); p != 0 {
+			t.Fatalf("iteration %d: %d events pending after cancel", i, p)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeoutHeavyQueueBounded runs the dominant cancel producer — a
+// process whose every wait carries a far-out timeout that a prompt wake
+// cancels (the GlobalRead/RecvTimeout pattern) — and asserts the live
+// queue population stays O(1) across tens of thousands of rounds. With
+// skip-on-pop tombstones this peaks at the round count.
+func TestTimeoutHeavyQueueBounded(t *testing.T) {
+	const rounds = 20000
+	eng := NewEngine(1)
+	var wl WaitList
+	maxPending := 0
+	eng.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			// One hour out: far beyond the run, so every timer that
+			// fired would be a test failure and every one left queued
+			// would show up in maxPending.
+			if !wl.WaitTimeout(p, eng.Now().Add(3600*Second)) {
+				t.Error("waiter timed out despite prompt wake")
+				return
+			}
+			if q := eng.Pending(); q > maxPending {
+				maxPending = q
+			}
+		}
+	})
+	eng.Spawn("waker", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			for !wl.WakeOne() {
+				p.Sleep(Microsecond)
+			}
+			p.Sleep(Microsecond)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxPending > 8 {
+		t.Fatalf("queue grew to %d pending events under a cancel-heavy workload; want O(1)", maxPending)
+	}
+}
+
+// TestCancelStaleHandleNoop: once an event has fired (or been
+// canceled), its handle must be inert even after the event object is
+// recycled into a new schedule.
+func TestCancelStaleHandleNoop(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	h1 := eng.Schedule(Time(Microsecond), func() { fired++ })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The event object is now on the free list; reuse it.
+	eng.Schedule(eng.Now().Add(Microsecond), func() { fired++ })
+	h1.Cancel() // stale: must not cancel the new event
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2 (stale Cancel must be a no-op)", fired)
+	}
+	// Double cancel on a live handle must also be safe.
+	h2 := eng.Schedule(eng.Now().Add(Microsecond), func() { fired++ })
+	h2.Cancel()
+	h2.Cancel()
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2 after double cancel", fired)
+	}
+}

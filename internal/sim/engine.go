@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -15,13 +14,13 @@ import (
 //
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	free   []*event // recycled event objects (see event's doc comment)
-	seed   int64
-	procs  []*Proc
-	nlive  int // spawned but not yet finished processes
+	now   Time
+	seq   uint64
+	q     calQueue
+	free  []*event // recycled event objects (see event's doc comment)
+	seed  int64
+	procs []*Proc
+	nlive int // spawned but not yet finished processes
 
 	current *Proc // process currently executing, nil when the loop runs
 	running bool
@@ -51,11 +50,12 @@ func (e *Engine) Stop() { e.stopReq = true }
 // NewEngine returns an engine whose clock starts at zero. All randomness
 // used by processes derives from seed, so equal seeds give equal runs.
 func NewEngine(seed int64) *Engine {
-	return &Engine{
-		seed:   seed,
-		events: make(eventHeap, 0, 128),
-		free:   make([]*event, 0, 128),
+	e := &Engine{
+		seed: seed,
+		free: make([]*event, 0, 128),
 	}
+	e.q.init()
+	return e
 }
 
 // Now returns the current virtual time.
@@ -101,15 +101,19 @@ func (e *Engine) push(at Time) *event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		*ev = event{}
 	} else {
 		ev = &event{}
 	}
-	ev.at, ev.seq = at, e.seq
+	ev.at, ev.seq, ev.eng, ev.inq = at, e.seq, e, true
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.q.insert(ev)
 	return ev
 }
+
+// Pending reports the number of events currently queued. Canceled
+// events are reclaimed eagerly, so this is the genuinely pending
+// population, not an upper bound.
+func (e *Engine) Pending() int { return e.q.len() }
 
 // recycle returns a fired or skipped event to the free list. The
 // object's seq stays behind until the next push re-stamps it, which is
@@ -149,20 +153,17 @@ func (e *Engine) RunUntil(deadline Time) error {
 	e.running = true
 	defer func() { e.running = false }()
 
-	for e.events.Len() > 0 {
+	for e.q.len() > 0 {
 		if e.stopReq {
 			e.stopReq = false
 			return nil
 		}
-		if e.events[0].at > deadline {
+		if e.q.peek().at > deadline {
 			e.now = deadline
 			return nil
 		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			e.recycle(ev)
-			continue
-		}
+		ev := e.q.pop()
+		ev.inq = false
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // event is a scheduled callback. Events with equal times fire in the
 // order they were scheduled (seq breaks ties), which keeps runs
 // deterministic.
@@ -22,8 +20,13 @@ type event struct {
 	// ScheduleRunner and skip the closure allocation fn would need —
 	// the same trick proc plays for process resumptions.
 	runner Runner
-	// canceled events stay in the heap but are skipped when popped.
-	canceled bool
+	// eng is the owning engine, set once when the event object is first
+	// allocated; Cancel reaches the calendar queue through it.
+	eng *Engine
+	// inq is true while the event sits in the calendar queue. Pop and
+	// Cancel clear it, so a cancel can tell a pending event from one
+	// that already fired and must not be touched.
+	inq bool
 }
 
 // Runner is a schedulable callback object. Storing a pointer in the
@@ -42,32 +45,19 @@ type EventHandle struct {
 	seq uint64
 }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel removes the event from the queue and recycles it immediately.
+// Canceling an already-fired or already-canceled event is a no-op.
+//
+// Reclamation is eager by design: timeout-heavy workloads (GlobalRead
+// deadlines, retransmit timers) cancel almost every event they
+// schedule, and leaving tombstones to be skipped at pop time lets the
+// queue grow with the cancel rate instead of the pending population.
 func (h EventHandle) Cancel() {
-	if h.ev != nil && h.ev.seq == h.seq {
-		h.ev.canceled = true
+	ev := h.ev
+	if ev == nil || ev.seq != h.seq || !ev.inq {
+		return
 	}
+	ev.inq = false
+	ev.eng.q.remove(ev)
+	ev.eng.recycle(ev)
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
-var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// This file exports the hold-model queue exercisers that back the
+// sim.QueueHold* entries in BENCH_*.json snapshots. The calendar queue
+// is an internal engine detail, so internal/benchio cannot drive it
+// directly; routing the calendar side through the full engine while the
+// heap baseline ran bare would charge the calendar for the engine loop
+// around it and invert the comparison. Both exercisers here perform
+// exactly one pop-min + one reinsert per op on their queue and nothing
+// else, mirroring BenchmarkEventQueueHold in queue_bench_test.go.
+
+// benchGap draws the classic hold-model inter-event gap: mostly dense
+// traffic with a heavy tail of far-out timers, mirroring what a large
+// netsim/pvm run schedules.
+func benchGap(rng *rand.Rand) Time {
+	if rng.Intn(10) == 0 {
+		return Time(rng.Int63n(int64(20 * Millisecond))) // retransmit-timer scale
+	}
+	return Time(rng.Int63n(int64(100 * Microsecond))) // frame/wake scale
+}
+
+// HoldBench drives the engine's calendar queue under the hold model
+// (steady-state pop-min + reinsert at a later time) at a fixed pending
+// population.
+type HoldBench struct {
+	q   calQueue
+	rng *rand.Rand
+	seq uint64
+}
+
+// NewHoldBench preloads a calendar queue with `pending` events whose
+// firing times follow the hold-model gap distribution.
+func NewHoldBench(pending int, seed int64) *HoldBench {
+	hb := &HoldBench{rng: rand.New(rand.NewSource(seed))}
+	hb.q.init()
+	for i := 0; i < pending; i++ {
+		hb.q.insert(&event{at: benchGap(hb.rng), seq: hb.seq})
+		hb.seq++
+	}
+	return hb
+}
+
+// Ops performs n hold-model operations: each pops the minimum event and
+// reinserts it at a later time, keeping the pending population fixed.
+func (hb *HoldBench) Ops(n int) {
+	for i := 0; i < n; i++ {
+		ev := hb.q.pop()
+		ev.at += benchGap(hb.rng)
+		ev.seq = hb.seq
+		hb.seq++
+		hb.q.insert(ev)
+	}
+}
+
+// holdBenchHeap replicates the binary heap the engine used before the
+// calendar queue, kept as the baseline the calendar is gated against.
+type holdBenchHeap []*event
+
+func (h holdBenchHeap) Len() int { return len(h) }
+func (h holdBenchHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h holdBenchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *holdBenchHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *holdBenchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// HoldHeapBench is HoldBench's twin on the pre-calendar binary heap.
+type HoldHeapBench struct {
+	h   holdBenchHeap
+	rng *rand.Rand
+	seq uint64
+}
+
+// NewHoldHeapBench preloads the baseline heap exactly as NewHoldBench
+// preloads the calendar queue.
+func NewHoldHeapBench(pending int, seed int64) *HoldHeapBench {
+	hb := &HoldHeapBench{
+		h:   make(holdBenchHeap, 0, pending),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < pending; i++ {
+		heap.Push(&hb.h, &event{at: benchGap(hb.rng), seq: hb.seq})
+		hb.seq++
+	}
+	return hb
+}
+
+// Ops performs n hold-model operations on the heap baseline.
+func (hb *HoldHeapBench) Ops(n int) {
+	for i := 0; i < n; i++ {
+		ev := heap.Pop(&hb.h).(*event)
+		ev.at += benchGap(hb.rng)
+		ev.seq = hb.seq
+		hb.seq++
+		heap.Push(&hb.h, ev)
+	}
+}
